@@ -1,0 +1,116 @@
+"""E6 — access schema discovery (AS Catalog, Fig. 2(D)/(E)).
+
+Input: the TLC dataset, the 11-query workload, an objective, and a
+storage limit. Output: a registered access schema. Reported: workload
+coverage and storage use across budgets and objectives, plus discovery
+latency. The discovered schema must actually cover the queries (verified
+by the BE Checker, not a proxy) and conform to the data.
+"""
+
+from __future__ import annotations
+
+from repro.access.conformance import check_database
+from repro.bench.reporting import format_table
+from repro.discovery import DiscoveryObjective, discover
+from repro.workloads.tlc import tlc_queries
+
+from benchmarks.conftest import dataset, once, write_report
+
+SCALE = 2
+
+_rows: list[tuple] = []
+
+
+def _workload():
+    ds = dataset(SCALE)
+    return ds, [q.sql for q in tlc_queries(ds.params)]
+
+
+def test_discover_unlimited(benchmark):
+    ds, workload = _workload()
+    result = once(benchmark, lambda: discover(ds.database, workload, slack=1.5))
+    # 10 of the 11 queries are coverable at all; discovery must find them
+    assert len(result.covered_queries) == 10
+    assert check_database(ds.database, result.schema).conforms
+    _rows.append(
+        (
+            "coverage", "unlimited", len(result.selected),
+            f"{len(result.covered_queries)}/11", result.storage_used,
+        )
+    )
+
+
+def test_discover_half_budget(benchmark):
+    ds, workload = _workload()
+    unlimited = discover(ds.database, workload, slack=1.5)
+    budget = unlimited.storage_used // 2
+
+    result = once(
+        benchmark,
+        lambda: discover(ds.database, workload, storage_budget=budget, slack=1.5),
+    )
+    assert result.storage_used <= budget
+    _rows.append(
+        (
+            "coverage", f"{budget} cells", len(result.selected),
+            f"{len(result.covered_queries)}/11", result.storage_used,
+        )
+    )
+
+
+def test_discover_per_storage_objective(benchmark):
+    ds, workload = _workload()
+    result = once(
+        benchmark,
+        lambda: discover(
+            ds.database,
+            workload,
+            objective=DiscoveryObjective.COVERAGE_PER_STORAGE,
+            slack=1.5,
+        ),
+    )
+    assert len(result.covered_queries) == 10
+    _rows.append(
+        (
+            "coverage/storage", "unlimited", len(result.selected),
+            f"{len(result.covered_queries)}/11", result.storage_used,
+        )
+    )
+
+
+def test_discover_min_bound_objective(benchmark):
+    ds, workload = _workload()
+    result = once(
+        benchmark,
+        lambda: discover(
+            ds.database,
+            workload,
+            objective=DiscoveryObjective.MIN_BOUND,
+            slack=1.5,
+        ),
+    )
+    assert len(result.covered_queries) == 10
+    _rows.append(
+        (
+            "min-bound", "unlimited", len(result.selected),
+            f"{len(result.covered_queries)}/11", result.storage_used,
+        )
+    )
+
+
+def test_discovery_report(benchmark):
+    once(benchmark, lambda: None)
+    report = "\n".join(
+        [
+            f"E6 — access schema discovery on TLC scale {SCALE}, 11-query workload",
+            "(the discovered schemas conform to the data and the coverage is "
+            "verified by the BE Checker)",
+            "",
+            format_table(
+                ("objective", "storage budget", "constraints", "queries covered",
+                 "storage used"),
+                _rows,
+            ),
+        ]
+    )
+    write_report("discovery.txt", report)

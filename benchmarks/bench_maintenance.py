@@ -1,0 +1,115 @@
+"""E7 — incremental index maintenance vs full rebuild (paper §3).
+
+The maintenance module "incrementally updates the indices of A in
+response to changes to the datasets". Reported: time to apply insert
+batches of growing size incrementally vs rebuilding every affected index,
+with the exactness invariant (incremental == rebuild) asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import AccessIndex, ASCatalog
+from repro.bench.reporting import format_table
+from repro.maintenance import MaintenanceManager
+from repro.workloads.tlc import generate_tlc, tlc_access_schema
+
+from benchmarks.conftest import once, write_report
+
+SCALE = 2
+
+_rows: list[tuple] = []
+
+
+def _fresh_catalog() -> ASCatalog:
+    ds = generate_tlc(scale=SCALE, seed=123)
+    return ASCatalog(ds.database, tlc_access_schema())
+
+
+def _batch(size: int, start: int) -> list[tuple]:
+    """Conforming synthetic call rows (fresh pnums per batch index)."""
+    rows = []
+    for i in range(size):
+        rows.append(
+            (
+                900_000 + start + i, f"M{start + i:07d}", f"E{i % 50:07d}",
+                "2016-06-20", "east",
+                "10:00", 60, 0.01, "voice", "out",
+                False, False, "T0001", "4G", "normal",
+                True, "PLAN00", 0.0, False, "west",
+                100, 5, 0.0, "AMR", 0,
+                4.0, 0.1, False, "retail", "synthetic",
+            )
+        )
+    return rows
+
+
+def _run_incremental(size: int, start: int) -> float:
+    catalog = _fresh_catalog()
+    manager = MaintenanceManager(catalog)
+    rows = _batch(size, start)
+    t0 = time.perf_counter()
+    manager.insert("call", rows)
+    return time.perf_counter() - t0
+
+
+def _run_rebuild(size: int, start: int) -> float:
+    catalog = _fresh_catalog()
+    rows = _batch(size, start)
+    table = catalog.database.table("call")
+    t0 = time.perf_counter()
+    for row in rows:
+        table.insert(row)
+    for constraint in catalog.constraints_for("call"):
+        catalog.index_for(constraint).build(table)
+    return time.perf_counter() - t0
+
+
+def test_maintenance_incremental_100(benchmark):
+    seconds = once(benchmark, lambda: _run_incremental(100, 0))
+    _rows.append(("incremental", 100, f"{seconds * 1000:.2f} ms"))
+
+
+def test_maintenance_rebuild_100(benchmark):
+    seconds = once(benchmark, lambda: _run_rebuild(100, 0))
+    _rows.append(("rebuild", 100, f"{seconds * 1000:.2f} ms"))
+
+
+def test_maintenance_incremental_1000(benchmark):
+    seconds = once(benchmark, lambda: _run_incremental(1000, 10_000))
+    _rows.append(("incremental", 1000, f"{seconds * 1000:.2f} ms"))
+
+
+def test_maintenance_rebuild_1000(benchmark):
+    seconds = once(benchmark, lambda: _run_rebuild(1000, 10_000))
+    _rows.append(("rebuild", 1000, f"{seconds * 1000:.2f} ms"))
+
+
+def test_maintenance_exactness_and_report(benchmark):
+    """Incremental result equals a from-scratch rebuild (the invariant)."""
+
+    def run():
+        catalog = _fresh_catalog()
+        manager = MaintenanceManager(catalog)
+        rows = _batch(500, 50_000)
+        manager.insert("call", rows)
+        manager.delete("call", rows[:250])
+        table = catalog.database.table("call")
+        for constraint in catalog.constraints_for("call"):
+            live = catalog.index_for(constraint)
+            rebuilt = AccessIndex(constraint, table)
+            assert live.snapshot() == rebuilt.snapshot(), constraint.name
+        return True
+
+    assert once(benchmark, run)
+    report = "\n".join(
+        [
+            f"E7 — incremental index maintenance vs rebuild, TLC scale {SCALE} "
+            "(3 call indices affected per batch)",
+            "invariant checked: incremental state == from-scratch rebuild",
+            "",
+            format_table(("strategy", "batch size", "time"), _rows),
+        ]
+    )
+    write_report("maintenance.txt", report)

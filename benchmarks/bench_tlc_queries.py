@@ -1,0 +1,102 @@
+"""E3 — the industry-deployment claim over the 11 built-in TLC queries.
+
+Paper §1: "BEAS outperforms commercial DBMS by orders of magnitude for
+more than 90% of their queries"; §4: the TLC analytical queries "are
+actually boundedly evaluable under a small access schema. In contrast,
+conventional DBMS may access almost the entire database to answer these
+queries."
+
+Reproduced: 10 of the 11 TLC queries (90.9%) are covered and answered by
+bounded plans that touch no base tuples; per-query speedups over the
+PostgreSQL profile are reported, as is the fraction of the database each
+engine touches.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import format_table
+from repro.workloads.tlc import tlc_queries
+
+from benchmarks.conftest import beas_for, dataset, once, write_report
+
+SCALE = 50
+
+_rows: list[tuple] = []
+_covered = 0
+
+
+def test_tlc_all_queries(benchmark):
+    """Run all 11 queries on BEAS and on the PostgreSQL profile."""
+    global _covered
+    beas = beas_for(SCALE)
+    ds = dataset(SCALE)
+    host = beas.host_engine()
+    host.statistics()  # offline ANALYZE
+    total_rows = ds.database.total_rows()
+    queries = tlc_queries(ds.params)
+
+    def run_all():
+        results = []
+        for query in queries:
+            t0 = time.perf_counter()
+            mine = beas.execute(query.sql)
+            beas_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            theirs = host.execute(query.sql)
+            host_seconds = time.perf_counter() - t0
+            assert set(mine.rows) == set(theirs.rows), query.name
+            results.append((query, mine, beas_seconds, theirs, host_seconds))
+        return results
+
+    results = once(benchmark, run_all)
+
+    _rows.clear()
+    _covered = 0
+    for query, mine, beas_seconds, theirs, host_seconds in results:
+        covered = mine.decision.covered
+        _covered += covered
+        accessed = mine.metrics.tuples_accessed
+        _rows.append(
+            (
+                query.name,
+                "covered" if covered else f"{mine.mode.value}",
+                f"{beas_seconds * 1000:.2f} ms",
+                f"{host_seconds * 1000:.2f} ms",
+                f"{host_seconds / beas_seconds:.1f}x",
+                f"{accessed}",
+                f"{theirs.metrics.tuples_scanned}",
+                f"{100.0 * accessed / total_rows:.2f}%",
+            )
+        )
+    benchmark.extra_info["covered"] = _covered
+
+
+def test_tlc_report(benchmark):
+    once(benchmark, lambda: None)
+    ds = dataset(SCALE)
+    queries = tlc_queries(ds.params)
+    coverage = _covered / len(queries)
+    faster = sum(1 for row in _rows if float(row[4].rstrip("x")) > 1.0)
+    report = "\n".join(
+        [
+            f"E3 — the 11 built-in TLC queries at scale {SCALE}, BEAS vs "
+            "PostgreSQL profile",
+            f"covered: {_covered}/{len(queries)} = {coverage:.1%} "
+            "(paper: 'more than 90% of their queries')",
+            f"database size: {ds.database.total_rows()} tuples",
+            "",
+            format_table(
+                (
+                    "query", "mode", "BEAS", "PostgreSQL", "speedup",
+                    "tuples accessed (BEAS)", "tuples scanned (PG)", "DB touched",
+                ),
+                _rows,
+            ),
+        ]
+    )
+    write_report("tlc_queries.txt", report)
+
+    assert coverage > 0.9, "the >90% coverage claim must reproduce"
+    assert faster >= 8, f"BEAS should win on nearly all queries ({faster}/11)"

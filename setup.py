@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+This offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs fail; ``setup.py develop`` (used via ``pip install -e .
+--no-use-pep517``, configured globally in pip.conf) works without it.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reproduction of BEAS: Bounded Evaluation of SQL Queries (SIGMOD 2017)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,89 @@
+"""repro — reproduction of *BEAS: Bounded Evaluation of SQL Queries*
+(Cao, Fan, Wang, Yuan, Li, Chen; SIGMOD 2017).
+
+BEAS answers SQL queries by accessing a bounded fraction ``D_Q`` of the
+dataset ``D``, with ``Q(D_Q) = Q(D)`` and ``|D_Q|`` determined only by the
+query and an *access schema* (cardinality constraints + indices) — never
+by ``|D|``.
+
+Quickstart::
+
+    from repro import (
+        AccessConstraint, BEAS, Database, DatabaseSchema, DataType,
+        TableSchema,
+    )
+
+    schema = DatabaseSchema([
+        TableSchema("call", [("pnum", DataType.STRING),
+                             ("recnum", DataType.STRING),
+                             ("date", DataType.DATE),
+                             ("region", DataType.STRING)]),
+    ])
+    db = Database(schema)
+    # ... load data ...
+    beas = BEAS(db)
+    beas.register(AccessConstraint(
+        "call", ["pnum", "date"], ["recnum", "region"], 500, name="psi1"))
+    decision = beas.check(
+        "SELECT DISTINCT region FROM call "
+        "WHERE pnum = '5550001' AND date = '2016-06-01'")
+    assert decision.covered and decision.access_bound == 500
+    result = beas.execute(
+        "SELECT DISTINCT region FROM call "
+        "WHERE pnum = '5550001' AND date = '2016-06-01'")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.catalog.types import DataType
+from repro.catalog.schema import Column, DatabaseSchema, TableSchema
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.access.constraint import AccessConstraint
+from repro.access.schema import AccessSchema
+from repro.access.index import AccessIndex
+from repro.access.catalog import ASCatalog
+from repro.engine.executor import ConventionalEngine, QueryResult
+from repro.engine.profiles import EngineProfile, MARIADB, MYSQL, POSTGRESQL, PROFILES
+from repro.bounded.coverage import BoundedEvaluabilityChecker, CoverageDecision
+from repro.bounded.planner import BoundedPlanGenerator
+from repro.bounded.executor import BoundedPlanExecutor
+from repro.bounded.optimizer import BEPlanOptimizer
+from repro.bounded.approximation import BoundedApproximator
+from repro.bounded.analyzer import PerformanceAnalyzer
+from repro.beas.system import BEAS
+from repro.beas.result import BEASResult, ExecutionMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataType",
+    "Column",
+    "TableSchema",
+    "DatabaseSchema",
+    "Database",
+    "Table",
+    "AccessConstraint",
+    "AccessSchema",
+    "AccessIndex",
+    "ASCatalog",
+    "ConventionalEngine",
+    "QueryResult",
+    "EngineProfile",
+    "POSTGRESQL",
+    "MYSQL",
+    "MARIADB",
+    "PROFILES",
+    "BoundedEvaluabilityChecker",
+    "CoverageDecision",
+    "BoundedPlanGenerator",
+    "BoundedPlanExecutor",
+    "BEPlanOptimizer",
+    "BoundedApproximator",
+    "PerformanceAnalyzer",
+    "BEAS",
+    "BEASResult",
+    "ExecutionMode",
+    "__version__",
+]

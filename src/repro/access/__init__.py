@@ -1,0 +1,32 @@
+"""Access schema subsystem (S5): constraints, indices, conformance, catalog.
+
+An access constraint ``R(X -> Y, N)`` [paper §2] combines a cardinality
+constraint — every ``X``-value has at most ``N`` distinct ``Y``-values in
+``R`` — with an index that retrieves those ``Y``-values given an
+``X``-value while accessing at most ``N`` tuples. An access schema is a
+set of such constraints; the AS Catalog manages them (metadata, discovery,
+maintenance) for each application.
+"""
+
+from repro.access.constraint import AccessConstraint
+from repro.access.index import AccessIndex
+from repro.access.schema import AccessSchema
+from repro.access.conformance import ConformanceReport, Violation, check_constraint, check_database
+from repro.access.catalog import ASCatalog, IndexStatistics
+from repro.access.io import dump_schema, load_schema, schema_from_dict, schema_to_dict
+
+__all__ = [
+    "AccessConstraint",
+    "AccessIndex",
+    "AccessSchema",
+    "ASCatalog",
+    "IndexStatistics",
+    "ConformanceReport",
+    "Violation",
+    "check_constraint",
+    "check_database",
+    "dump_schema",
+    "load_schema",
+    "schema_from_dict",
+    "schema_to_dict",
+]

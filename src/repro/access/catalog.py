@@ -1,0 +1,197 @@
+"""AS Catalog: the offline service managing access schemas (paper §3).
+
+The catalog's *Metadata module* maintains (a) the access schema and (b)
+statistics, including index sizes, "in a system table as catalog, for query
+plan generation and optimization". ``ASCatalog`` owns the built
+:class:`~repro.access.index.AccessIndex` objects and exposes exactly that:
+constraint lookup for the BE Query Planner and index handles + statistics
+for the BE Plan Executor and Optimizer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.access.conformance import ConformanceReport, check_database
+from repro.access.constraint import AccessConstraint
+from repro.access.index import AccessIndex
+from repro.access.schema import AccessSchema
+from repro.errors import AccessSchemaError, ConformanceError
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """One row of the catalog's statistics 'system table'."""
+
+    constraint_name: str
+    relation: str
+    key_count: int
+    entry_count: int
+    max_bucket_size: int
+    storage_cells: int
+    build_seconds: float
+
+
+class ASCatalog:
+    """Registered access schema + built indices + statistics for one database."""
+
+    def __init__(self, database: Database, schema: AccessSchema | None = None):
+        self.database = database
+        self.schema = schema or AccessSchema(name=f"{database.name}-schema")
+        self._indexes: dict[str, AccessIndex] = {}
+        self._statistics: dict[str, IndexStatistics] = {}
+        if schema is not None:
+            self.build_all()
+
+    # ------------------------------------------------------------------ #
+    # registration (Metadata module)
+    # ------------------------------------------------------------------ #
+    def register(self, constraint: AccessConstraint, *, validate: bool = True) -> AccessIndex:
+        """Add one constraint and build its index.
+
+        With ``validate=True`` the build fails if the data does not conform
+        to the cardinality bound; the constraint is then not registered.
+        """
+        if constraint.name in self._indexes:
+            raise AccessSchemaError(
+                f"constraint {constraint.name!r} already registered"
+            )
+        table = self.database.table(constraint.relation)
+        start = time.perf_counter()
+        index = AccessIndex(constraint)
+        index.build(table, validate=validate)
+        elapsed = time.perf_counter() - start
+        if constraint.name not in self.schema:
+            self.schema.add(constraint)
+        self._indexes[constraint.name] = index
+        self._statistics[constraint.name] = IndexStatistics(
+            constraint_name=constraint.name,
+            relation=constraint.relation,
+            key_count=index.key_count,
+            entry_count=index.entry_count,
+            max_bucket_size=index.max_bucket_size,
+            storage_cells=index.storage_cells(),
+            build_seconds=elapsed,
+        )
+        return index
+
+    def build_all(self, *, validate: bool = True) -> None:
+        """Build indices for every constraint of the schema not yet built."""
+        for constraint in self.schema:
+            if constraint.name not in self._indexes:
+                # temporary removal dance: register() re-adds to the schema
+                index = AccessIndex(constraint)
+                start = time.perf_counter()
+                index.build(self.database.table(constraint.relation), validate=validate)
+                elapsed = time.perf_counter() - start
+                self._indexes[constraint.name] = index
+                self._statistics[constraint.name] = IndexStatistics(
+                    constraint_name=constraint.name,
+                    relation=constraint.relation,
+                    key_count=index.key_count,
+                    entry_count=index.entry_count,
+                    max_bucket_size=index.max_bucket_size,
+                    storage_cells=index.storage_cells(),
+                    build_seconds=elapsed,
+                )
+
+    def unregister(self, name: str) -> None:
+        """Drop a constraint and its index (user removal, paper §3(d)(ii))."""
+        if name in self.schema:
+            self.schema.remove(name)
+        self._indexes.pop(name, None)
+        self._statistics.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # lookups (used by the BE planner/executor)
+    # ------------------------------------------------------------------ #
+    def index_for(self, constraint: AccessConstraint) -> AccessIndex:
+        try:
+            return self._indexes[constraint.name]
+        except KeyError:
+            raise AccessSchemaError(
+                f"no index built for constraint {constraint.name!r}"
+            ) from None
+
+    def constraints_for(self, relation: str) -> list[AccessConstraint]:
+        return self.schema.constraints_for(relation)
+
+    def statistics(self) -> list[IndexStatistics]:
+        """The catalog's statistics table, one row per index."""
+        return list(self._statistics.values())
+
+    def statistics_for(self, name: str) -> IndexStatistics:
+        try:
+            return self._statistics[name]
+        except KeyError:
+            raise AccessSchemaError(f"no statistics for constraint {name!r}") from None
+
+    def total_storage_cells(self) -> int:
+        return sum(s.storage_cells for s in self._statistics.values())
+
+    def statistics_table(self) -> "Table":
+        """The statistics as a real relation — the paper's Metadata module
+        keeps index statistics "in a system table as catalog"."""
+        from repro.catalog.schema import TableSchema
+        from repro.catalog.types import DataType
+        from repro.storage.table import Table
+
+        schema = TableSchema(
+            "as_catalog",
+            [
+                ("constraint_name", DataType.STRING),
+                ("relation", DataType.STRING),
+                ("x_attrs", DataType.STRING),
+                ("y_attrs", DataType.STRING),
+                ("n", DataType.INT),
+                ("key_count", DataType.INT),
+                ("entry_count", DataType.INT),
+                ("max_bucket_size", DataType.INT),
+                ("storage_cells", DataType.INT),
+            ],
+            keys=[("constraint_name",)],
+        )
+        table = Table(schema)
+        for constraint in self.schema:
+            stats = self._statistics.get(constraint.name)
+            if stats is None:
+                continue
+            table.insert(
+                (
+                    constraint.name,
+                    constraint.relation,
+                    ",".join(constraint.x),
+                    ",".join(constraint.y),
+                    constraint.n,
+                    stats.key_count,
+                    stats.entry_count,
+                    stats.max_bucket_size,
+                    stats.storage_cells,
+                )
+            )
+        return table
+
+    # ------------------------------------------------------------------ #
+    def verify_conformance(self) -> ConformanceReport:
+        """Re-check ``D |= A`` from the base data (maintenance hook)."""
+        return check_database(self.database, self.schema)
+
+    def require_conformance(self) -> None:
+        report = self.verify_conformance()
+        if not report.conforms:
+            raise ConformanceError(
+                f"{len(report.violations)} access-constraint violations",
+                report.violations,
+            )
+
+    def __iter__(self) -> Iterator[AccessConstraint]:
+        return iter(self.schema)
+
+    def __repr__(self) -> str:
+        return (
+            f"ASCatalog({self.database.name}: {len(self.schema)} constraints, "
+            f"{len(self._indexes)} indices)"
+        )

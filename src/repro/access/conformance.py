@@ -1,0 +1,82 @@
+"""Conformance checking: does ``D |= A`` hold?
+
+A relation instance conforms to ``R(X -> Y, N)`` when every X-value has at
+most N distinct Y-values (paper §2). The checker reports *all* violations
+(each offending X-value with its actual count), which the maintenance
+module uses to propose adjusted bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.access.constraint import AccessConstraint
+from repro.access.schema import AccessSchema
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One X-value whose distinct-Y count exceeds the declared bound."""
+
+    constraint: AccessConstraint
+    x_value: tuple
+    actual: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.constraint.name}: X={self.x_value!r} has {self.actual} "
+            f"distinct Y-values (bound {self.constraint.n})"
+        )
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of checking one constraint (or a whole schema) against data."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checked_constraints: int = 0
+    max_group_size: int = 0  # largest distinct-Y group seen anywhere
+
+    @property
+    def conforms(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "ConformanceReport") -> None:
+        self.violations.extend(other.violations)
+        self.checked_constraints += other.checked_constraints
+        self.max_group_size = max(self.max_group_size, other.max_group_size)
+
+    def tightest_bound(self) -> int:
+        """Smallest N for which the checked data would conform."""
+        return self.max_group_size
+
+
+def check_constraint(table: Table, constraint: AccessConstraint) -> ConformanceReport:
+    """Check one constraint against one table, reporting every violation."""
+    constraint.validate_against(table.schema)
+    x_positions = table.schema.positions(constraint.x)
+    y_positions = table.schema.positions(constraint.y)
+    groups: dict[tuple, set[tuple]] = {}
+    for row in table.rows:
+        key = tuple(row[i] for i in x_positions)
+        groups.setdefault(key, set()).add(tuple(row[i] for i in y_positions))
+
+    report = ConformanceReport(checked_constraints=1)
+    for key, y_values in groups.items():
+        size = len(y_values)
+        report.max_group_size = max(report.max_group_size, size)
+        if size > constraint.n:
+            report.violations.append(Violation(constraint, key, size))
+    return report
+
+
+def check_database(database: Database, schema: AccessSchema) -> ConformanceReport:
+    """Check ``D |= A``: every constraint of ``schema`` against ``database``."""
+    report = ConformanceReport()
+    for constraint in schema:
+        table = database.table(constraint.relation)
+        report.merge(check_constraint(table, constraint))
+    return report

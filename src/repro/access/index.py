@@ -1,0 +1,160 @@
+"""The modified hash index backing an access constraint.
+
+Paper §3 (AS Catalog, Discovery): *"its index ... is a modified hash index
+such that (a) it takes attributes X as the key; and (b) each key value ā
+points to a bucket D_Y(X = ā), the set of at most N distinct Y-values in D
+corresponding to ā."*
+
+Buckets here additionally store a support count per distinct Y-value (how
+many base rows project to it), which is what makes **incremental
+maintenance** exact under deletions: a Y-value leaves the bucket only when
+its last supporting row is deleted (paper §3, Maintenance module).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.access.constraint import AccessConstraint
+from repro.errors import AccessSchemaError, ConformanceError
+from repro.storage.table import Table
+
+Key = tuple
+YValue = tuple
+
+
+class AccessIndex:
+    """Hash index from X-values to buckets of distinct Y-values."""
+
+    def __init__(self, constraint: AccessConstraint, table: Table | None = None):
+        self.constraint = constraint
+        self._buckets: dict[Key, dict[YValue, int]] = {}
+        self._x_positions: tuple[int, ...] = ()
+        self._y_positions: tuple[int, ...] = ()
+        self._built_from: str | None = None
+        if table is not None:
+            self.build(table)
+
+    # ------------------------------------------------------------------ #
+    # construction and maintenance
+    # ------------------------------------------------------------------ #
+    def build(self, table: Table, *, validate: bool = True) -> "AccessIndex":
+        """(Re)build the index from ``table``.
+
+        With ``validate=True`` (default) a bucket growing past ``N``
+        aborts the build with :class:`~repro.errors.ConformanceError` —
+        the dataset does not conform to the constraint.
+        """
+        self.constraint.validate_against(table.schema)
+        self._x_positions = table.schema.positions(self.constraint.x)
+        self._y_positions = table.schema.positions(self.constraint.y)
+        self._buckets = {}
+        self._built_from = table.schema.name
+        for row in table.rows:
+            self._add(row, validate=validate)
+        return self
+
+    def _key_of(self, row: Sequence[Any]) -> Key:
+        return tuple(row[i] for i in self._x_positions)
+
+    def _y_of(self, row: Sequence[Any]) -> YValue:
+        return tuple(row[i] for i in self._y_positions)
+
+    def _add(self, row: Sequence[Any], *, validate: bool) -> None:
+        key = self._key_of(row)
+        bucket = self._buckets.setdefault(key, {})
+        y_value = self._y_of(row)
+        if y_value in bucket:
+            bucket[y_value] += 1
+            return
+        if validate and len(bucket) >= self.constraint.n:
+            raise ConformanceError(
+                f"constraint {self.constraint.name} violated: X-value {key!r} "
+                f"has more than N={self.constraint.n} distinct Y-values"
+            )
+        bucket[y_value] = 1
+
+    def insert_row(self, row: Sequence[Any], *, validate: bool = True) -> None:
+        """Incrementally account for one inserted base row."""
+        if self._built_from is None:
+            raise AccessSchemaError("index has not been built yet")
+        self._add(row, validate=validate)
+
+    def delete_row(self, row: Sequence[Any]) -> None:
+        """Incrementally account for one deleted base row."""
+        if self._built_from is None:
+            raise AccessSchemaError("index has not been built yet")
+        key = self._key_of(row)
+        bucket = self._buckets.get(key)
+        y_value = self._y_of(row)
+        if bucket is None or y_value not in bucket:
+            raise AccessSchemaError(
+                f"cannot delete: row not present in index {self.constraint.name}"
+            )
+        bucket[y_value] -= 1
+        if bucket[y_value] == 0:
+            del bucket[y_value]
+        if not bucket:
+            del self._buckets[key]
+
+    # ------------------------------------------------------------------ #
+    # lookups (the fetch primitive)
+    # ------------------------------------------------------------------ #
+    def fetch(self, key: Key) -> list[YValue]:
+        """Return the bucket ``D_Y(X = key)``: at most N distinct Y-values."""
+        bucket = self._buckets.get(tuple(key))
+        if bucket is None:
+            return []
+        return list(bucket)
+
+    def fetch_many(self, keys: Iterable[Key]) -> list[YValue]:
+        """Union of buckets for ``keys``, deduplicated, order-preserving."""
+        seen: set[YValue] = set()
+        out: list[YValue] = []
+        for key in keys:
+            for y_value in self.fetch(key):
+                if y_value not in seen:
+                    seen.add(y_value)
+                    out.append(y_value)
+        return out
+
+    def __contains__(self, key: Key) -> bool:
+        return tuple(key) in self._buckets
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._buckets)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def key_count(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def entry_count(self) -> int:
+        """Total distinct (X, Y) pairs stored — the index's logical size."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def max_bucket_size(self) -> int:
+        if not self._buckets:
+            return 0
+        return max(len(bucket) for bucket in self._buckets.values())
+
+    def storage_cells(self) -> int:
+        """Storage estimate in value cells (keys + entries), used by the
+        discovery module's storage budget."""
+        key_width = len(self.constraint.x)
+        y_width = len(self.constraint.y)
+        return self.key_count * key_width + self.entry_count * y_width
+
+    def snapshot(self) -> dict[Key, dict[YValue, int]]:
+        """Deep copy of the buckets (tests compare incremental vs rebuild)."""
+        return {key: dict(bucket) for key, bucket in self._buckets.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessIndex({self.constraint.name}: {self.key_count} keys, "
+            f"{self.entry_count} entries)"
+        )

@@ -1,0 +1,90 @@
+"""JSON (de)serialisation of access schemas.
+
+The AS Catalog's metadata module persists access schemas per application
+(paper §3); the on-disk format here is a plain JSON document so schemas
+can be versioned, reviewed, and shipped next to the data:
+
+.. code-block:: json
+
+    {
+      "name": "A0",
+      "constraints": [
+        {"name": "psi1", "relation": "call",
+         "x": ["pnum", "date"], "y": ["recnum", "region"], "n": 500}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.access.constraint import AccessConstraint
+from repro.access.schema import AccessSchema
+from repro.errors import AccessSchemaError
+
+
+def schema_to_dict(schema: AccessSchema) -> dict:
+    """Plain-dict form of an access schema (JSON-ready)."""
+    return {
+        "name": schema.name,
+        "constraints": [
+            {
+                "name": c.name,
+                "relation": c.relation,
+                "x": list(c.x),
+                "y": list(c.y),
+                "n": c.n,
+            }
+            for c in schema
+        ],
+    }
+
+
+def schema_from_dict(data: dict) -> AccessSchema:
+    """Rebuild an access schema from its dict form (validating shape)."""
+    if not isinstance(data, dict) or "constraints" not in data:
+        raise AccessSchemaError(
+            "access schema document must be an object with 'constraints'"
+        )
+    constraints = []
+    for i, entry in enumerate(data["constraints"]):
+        try:
+            constraints.append(
+                AccessConstraint(
+                    relation=entry["relation"],
+                    x=entry.get("x", []),
+                    y=entry["y"],
+                    n=int(entry["n"]),
+                    name=entry.get("name"),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise AccessSchemaError(
+                f"malformed constraint entry #{i}: {entry!r}"
+            ) from exc
+    return AccessSchema(constraints, name=data.get("name", "A"))
+
+
+def dump_schema(schema: AccessSchema, destination: Union[str, Path, TextIO]) -> None:
+    """Write ``schema`` as JSON."""
+    document = schema_to_dict(schema)
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(json.dumps(document, indent=2) + "\n")
+    else:
+        json.dump(document, destination, indent=2)
+
+
+def load_schema(source: Union[str, Path, TextIO]) -> AccessSchema:
+    """Read an access schema from JSON text, a path, or a file object."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text()
+    else:
+        text = source.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AccessSchemaError(f"invalid access schema JSON: {exc}") from exc
+    return schema_from_dict(data)

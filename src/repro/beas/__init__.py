@@ -1,0 +1,6 @@
+"""BEAS system facade (S9): the end-to-end prototype of the paper."""
+
+from repro.beas.result import BEASResult, ExecutionMode
+from repro.beas.system import BEAS
+
+__all__ = ["BEAS", "BEASResult", "ExecutionMode"]

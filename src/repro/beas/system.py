@@ -1,0 +1,230 @@
+"""The BEAS system facade.
+
+Ties the architecture of Fig. 1 together over one database:
+
+1. given an SQL query Q, the **BE Checker** decides whether Q is covered
+   by the registered access schema; if so
+2. the **BE Plan Generator** emits a bounded plan and the **BE Plan
+   Executor** computes exact answers within the deduced bound;
+3. otherwise the **BE Plan Optimizer** looks for a partially bounded plan,
+   falling back to the host DBMS (the conventional engine) when none
+   helps. With an explicit tuple budget, covered-but-over-budget queries
+   can instead take the resource-bounded approximation route.
+
+Typical use::
+
+    beas = BEAS(database)
+    beas.register(AccessConstraint("call", ["pnum", "date"],
+                                   ["recnum", "region"], 500))
+    result = beas.execute("SELECT ...")
+    print(result.mode, result.rows)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.access.catalog import ASCatalog
+from repro.access.constraint import AccessConstraint
+from repro.access.schema import AccessSchema
+from repro.errors import BudgetExceededError
+from repro.sql import ast
+from repro.storage.database import Database
+from repro.engine.executor import ConventionalEngine
+from repro.engine.profiles import EngineProfile, POSTGRESQL
+from repro.bounded.analyzer import PerformanceAnalysis, PerformanceAnalyzer
+from repro.bounded.approximation import BoundedApproximator
+from repro.bounded.coverage import BoundedEvaluabilityChecker, CoverageDecision
+from repro.bounded.executor import BoundedPlanExecutor
+from repro.bounded.optimizer import BEPlanOptimizer
+from repro.bounded.plan import BoundedPlan, explain_plan
+from repro.beas.result import BEASResult, ExecutionMode
+
+
+class BEAS:
+    """Bounded EvAluation of SQL — the full prototype."""
+
+    def __init__(
+        self,
+        database: Database,
+        access_schema: Optional[AccessSchema] = None,
+        *,
+        host_profile: EngineProfile = POSTGRESQL,
+        require_exact_multiplicities: bool = False,
+        dedup_keys: bool = False,
+    ):
+        self.database = database
+        self.catalog = ASCatalog(database, access_schema)
+        self.host_profile = host_profile
+        self._require_exact = require_exact_multiplicities
+        self._dedup_keys = dedup_keys
+        self._host = ConventionalEngine(database, host_profile)
+        self._host_engines: dict[str, ConventionalEngine] = {
+            host_profile.name: self._host
+        }
+        self._refresh_components()
+
+    def _refresh_components(self) -> None:
+        """Rebuild planner-side objects after the access schema changes."""
+        self._checker = BoundedEvaluabilityChecker(
+            self.database.schema,
+            self.catalog.schema,
+            require_exact_multiplicities=self._require_exact,
+        )
+        self._executor = BoundedPlanExecutor(
+            self.catalog, dedup_keys=self._dedup_keys
+        )
+        self._optimizer = BEPlanOptimizer(
+            self.catalog, self.host_profile, dedup_keys=self._dedup_keys
+        )
+        self._approximator = BoundedApproximator(self.catalog)
+
+    # ------------------------------------------------------------------ #
+    # access schema management
+    # ------------------------------------------------------------------ #
+    def register(self, constraint: AccessConstraint, *, validate: bool = True) -> None:
+        """Register one access constraint and build its index."""
+        self.catalog.register(constraint, validate=validate)
+        self._refresh_components()
+
+    def register_all(
+        self, constraints: Sequence[AccessConstraint], *, validate: bool = True
+    ) -> None:
+        for constraint in constraints:
+            self.catalog.register(constraint, validate=validate)
+        self._refresh_components()
+
+    def unregister(self, constraint_name: str) -> None:
+        self.catalog.unregister(constraint_name)
+        self._refresh_components()
+
+    # ------------------------------------------------------------------ #
+    # the online services
+    # ------------------------------------------------------------------ #
+    def check(
+        self, query: Union[str, ast.Statement], budget: Optional[int] = None
+    ) -> CoverageDecision:
+        """BE Checker: coverage + deduced bound, without executing."""
+        return self._checker.check(query, budget)
+
+    def explain(self, query: Union[str, ast.Statement]) -> str:
+        """Bounded plan listing when covered; reasons + host plan otherwise."""
+        decision = self.check(query)
+        if decision.covered:
+            return explain_plan(decision.plan)
+        partial = self._optimizer.analyze(query)
+        lines = [decision.describe()]
+        if partial is not None:
+            lines.append(partial.describe())
+        lines.append("host plan:")
+        lines.append(self._host.explain(query))
+        return "\n".join(lines)
+
+    def execute(
+        self,
+        query: Union[str, ast.Statement],
+        *,
+        budget: Optional[int] = None,
+        allow_partial: bool = True,
+        approximate_over_budget: bool = False,
+    ) -> BEASResult:
+        """Answer ``query``, choosing the evaluation mode per paper §2.
+
+        With a ``budget``: covered queries whose deduced bound exceeds it
+        either raise :class:`~repro.errors.BudgetExceededError` or, with
+        ``approximate_over_budget=True``, take the resource-bounded
+        approximation route.
+        """
+        decision = self.check(query, budget)
+        if decision.covered:
+            if budget is not None and not decision.within_budget:
+                if approximate_over_budget and isinstance(
+                    decision.plan, BoundedPlan
+                ):
+                    approx = self._approximator.execute(decision.plan, budget)
+                    return BEASResult(
+                        columns=approx.columns,
+                        rows=approx.rows,
+                        mode=ExecutionMode.APPROXIMATE,
+                        decision=decision,
+                        metrics=approx.metrics,
+                        approximation=approx,
+                    )
+                raise BudgetExceededError(decision.access_bound, budget)
+            result = self._executor.execute(decision.plan)
+            return BEASResult.from_query_result(
+                result, ExecutionMode.BOUNDED, decision
+            )
+
+        if allow_partial:
+            partial = self._optimizer.analyze(query)
+            if partial is not None:
+                result = self._optimizer.execute(partial)
+                return BEASResult.from_query_result(
+                    result, ExecutionMode.PARTIAL, decision
+                )
+
+        result = self._host.execute(query)
+        return BEASResult.from_query_result(
+            result, ExecutionMode.CONVENTIONAL, decision
+        )
+
+    # ------------------------------------------------------------------ #
+    # data updates (routed through incremental maintenance)
+    # ------------------------------------------------------------------ #
+    def insert(self, table_name: str, rows, *, adjust_bounds: bool = False):
+        """Insert rows, updating every affected access index incrementally.
+
+        With ``adjust_bounds=False`` (default) a batch that would violate a
+        cardinality bound is rejected atomically; with ``True`` the
+        violated constraint's N is widened instead (paper §3, Maintenance).
+        """
+        from repro.maintenance.incremental import MaintenanceManager, ViolationPolicy
+
+        policy = (
+            ViolationPolicy.ADJUST if adjust_bounds else ViolationPolicy.REJECT
+        )
+        manager = MaintenanceManager(self.catalog, policy=policy)
+        batch = manager.insert(table_name, rows)
+        self._host.invalidate_statistics()
+        for engine in self._host_engines.values():
+            engine.invalidate_statistics()
+        return batch
+
+    def delete(self, table_name: str, rows):
+        """Delete rows (bag semantics), keeping access indices exact."""
+        from repro.maintenance.incremental import MaintenanceManager
+
+        manager = MaintenanceManager(self.catalog)
+        batch = manager.delete(table_name, rows)
+        self._host.invalidate_statistics()
+        for engine in self._host_engines.values():
+            engine.invalidate_statistics()
+        return batch
+
+    # ------------------------------------------------------------------ #
+    def analyze_performance(
+        self,
+        query: Union[str, ast.Statement],
+        profiles: Optional[Sequence[EngineProfile]] = None,
+    ) -> PerformanceAnalysis:
+        """The Fig.-3 analysis panel for a covered query."""
+        analyzer = PerformanceAnalyzer(self.catalog, dedup_keys=self._dedup_keys)
+        if profiles is None:
+            return analyzer.analyze(query)
+        return analyzer.analyze(query, profiles)
+
+    def host_engine(self, profile: Optional[EngineProfile] = None) -> ConventionalEngine:
+        """A conventional engine over the same data (comparator access).
+
+        Engines are cached per profile so table statistics — the
+        equivalent of an offline ANALYZE — are collected once, not on
+        every comparison run.
+        """
+        if profile is None:
+            return self._host
+        engine = self._host_engines.get(profile.name)
+        if engine is None or engine.profile is not profile:
+            engine = ConventionalEngine(self.database, profile)
+            self._host_engines[profile.name] = engine
+        return engine

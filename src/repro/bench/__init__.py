@@ -1,0 +1,6 @@
+"""Benchmark harness helpers (S11) shared by the files in ``benchmarks/``."""
+
+from repro.bench.runner import measure, cached_tlc
+from repro.bench.reporting import format_table, print_table, series_row
+
+__all__ = ["measure", "cached_tlc", "format_table", "print_table", "series_row"]

@@ -1,0 +1,30 @@
+"""Plain-text tables for benchmark output (the rows the paper reports)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def series_row(label: str, values: Sequence[float], unit: str = "s") -> str:
+    """One Fig.-4-style series line: label followed by per-size values."""
+    rendered = "  ".join(f"{v:.3f}{unit}" for v in values)
+    return f"{label:>12}: {rendered}"

@@ -1,0 +1,37 @@
+"""Timing and dataset-caching helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.workloads.tlc import TLCDataset, generate_tlc
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed call: result + elapsed seconds."""
+
+    value: object
+    seconds: float
+
+
+def measure(fn: Callable[[], T]) -> Measurement:
+    """Run ``fn`` once under a monotonic timer."""
+    start = time.perf_counter()
+    value = fn()
+    return Measurement(value=value, seconds=time.perf_counter() - start)
+
+
+@functools.lru_cache(maxsize=8)
+def cached_tlc(scale: int, seed: int = 42) -> TLCDataset:
+    """Generate (once per process) the TLC dataset at ``scale``.
+
+    Benchmarks across files share generated datasets so the sweep over
+    Fig. 4's five sizes only pays generation once per size.
+    """
+    return generate_tlc(scale=scale, seed=seed)

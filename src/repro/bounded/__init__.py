@@ -1,0 +1,44 @@
+"""Bounded evaluation core (S6) — the paper's primary contribution.
+
+Components map one-to-one onto Fig. 1 of the paper:
+
+* **BE Checker** (:mod:`repro.bounded.coverage`) — decides in PTIME whether
+  a query is *covered* by the access schema (the effective syntax of the
+  Feasibility Theorem), and deduces the access bound ``M`` before
+  execution.
+* **BE Plan Generator** (:mod:`repro.bounded.planner`) — builds a bounded
+  query plan whose only data access is the ``fetch(X ∈ T, Y, R)`` operator,
+  each fetch annotated with an upper bound on the data it may touch.
+* **BE Plan Executor** (:mod:`repro.bounded.executor`) — runs bounded plans
+  against the AS catalog's modified hash indices.
+* **BE Plan Optimizer** (:mod:`repro.bounded.optimizer`) — partially
+  bounded plans for non-covered queries.
+* **Resource-bounded approximation** (:mod:`repro.bounded.approximation`).
+* **Performance analyzer** (:mod:`repro.bounded.analyzer`) — the Fig.-3
+  style report.
+"""
+
+from repro.bounded.plan import BoundedPlan, FetchOp, SelectOp, explain_plan
+from repro.bounded.coverage import BoundedEvaluabilityChecker, CoverageDecision
+from repro.bounded.planner import BoundedPlanGenerator
+from repro.bounded.executor import BoundedPlanExecutor
+from repro.bounded.optimizer import BEPlanOptimizer, PartialPlan
+from repro.bounded.approximation import ApproximateResult, BoundedApproximator
+from repro.bounded.analyzer import PerformanceAnalysis, PerformanceAnalyzer
+
+__all__ = [
+    "BoundedPlan",
+    "FetchOp",
+    "SelectOp",
+    "explain_plan",
+    "BoundedEvaluabilityChecker",
+    "CoverageDecision",
+    "BoundedPlanGenerator",
+    "BoundedPlanExecutor",
+    "BEPlanOptimizer",
+    "PartialPlan",
+    "BoundedApproximator",
+    "ApproximateResult",
+    "PerformanceAnalyzer",
+    "PerformanceAnalysis",
+]

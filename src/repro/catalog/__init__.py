@@ -1,0 +1,17 @@
+"""Relational catalog: column types, table schemas, and statistics (S1)."""
+
+from repro.catalog.types import DataType, coerce_value, is_compatible
+from repro.catalog.schema import Column, TableSchema, DatabaseSchema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics, collect_statistics
+
+__all__ = [
+    "DataType",
+    "coerce_value",
+    "is_compatible",
+    "Column",
+    "TableSchema",
+    "DatabaseSchema",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_statistics",
+]

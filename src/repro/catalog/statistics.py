@@ -1,0 +1,96 @@
+"""Lightweight table statistics.
+
+The conventional planner uses row counts and per-column distinct counts for
+join ordering and selectivity estimates; the AS catalog stores index sizes
+derived from the same numbers; the discovery module profiles group
+cardinalities. Everything here is exact (computed over the data), which is
+affordable for an in-memory engine and keeps tests deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.table import Table
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for one column of one table."""
+
+    name: str
+    distinct_count: int = 0
+    null_count: int = 0
+    min_value: Any = None
+    max_value: Any = None
+
+    def selectivity_of_equality(self, row_count: int) -> float:
+        """Estimated fraction of rows matching ``col = const``."""
+        if row_count == 0 or self.distinct_count == 0:
+            return 0.0
+        return 1.0 / self.distinct_count
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a whole table."""
+
+    table: str
+    row_count: int = 0
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns.get(name, ColumnStatistics(name=name))
+
+    def distinct(self, name: str) -> int:
+        return self.column(name).distinct_count
+
+
+def collect_statistics(table: "Table") -> TableStatistics:
+    """Compute exact statistics for ``table`` in one pass per column."""
+    stats = TableStatistics(table=table.schema.name, row_count=len(table))
+    for position, column in enumerate(table.schema.columns):
+        seen: set[Any] = set()
+        nulls = 0
+        min_value: Any = None
+        max_value: Any = None
+        for row in table.rows:
+            value = row[position]
+            if value is None:
+                nulls += 1
+                continue
+            seen.add(value)
+            if min_value is None or value < min_value:
+                min_value = value
+            if max_value is None or value > max_value:
+                max_value = value
+        stats.columns[column.name] = ColumnStatistics(
+            name=column.name,
+            distinct_count=len(seen),
+            null_count=nulls,
+            min_value=min_value,
+            max_value=max_value,
+        )
+    return stats
+
+
+def group_cardinality(
+    table: "Table", x_attrs: Iterable[str], y_attrs: Iterable[str]
+) -> int:
+    """Max over X-values of the number of distinct Y-projections.
+
+    This is exactly the smallest ``N`` for which the access constraint
+    ``R(X -> Y, N)`` holds on ``table`` (0 for an empty table). The
+    discovery profiler and the conformance checker both build on it.
+    """
+    x_positions = table.schema.positions(x_attrs)
+    y_positions = table.schema.positions(y_attrs)
+    groups: dict[tuple, set[tuple]] = {}
+    for row in table.rows:
+        key = tuple(row[i] for i in x_positions)
+        groups.setdefault(key, set()).add(tuple(row[i] for i in y_positions))
+    if not groups:
+        return 0
+    return max(len(values) for values in groups.values())

@@ -1,0 +1,226 @@
+"""Command-line interface: the demo portal, in terminal form.
+
+The SIGMOD demo exposed BEAS through a web portal (Fig. 2); this CLI
+offers the same interactions:
+
+* ``check``    — BE Checker: is a query covered? what is the bound? does a
+  budget suffice? (Fig. 2(A))
+* ``explain``  — the bounded plan with per-fetch bound annotations, or the
+  reasons plus the host plan when not covered (Fig. 2(B))
+* ``run``      — execute a query and report mode/metrics (Fig. 2(C))
+* ``analyze``  — the Fig.-3 performance panel against the comparator
+  profiles
+* ``discover`` — the offline discovery service: mine an access schema from
+  a workload file under a storage budget (Fig. 2(D)), writing JSON
+* ``conform``  — verify that the data conforms to an access schema
+
+Databases load from a directory of ``*.csv`` files (the format written by
+``repro.storage.dump_csv``: ``name:type`` headers) and/or ``*.sql``
+scripts (CREATE TABLE / INSERT). Access schemas load from JSON (see
+``repro.access.io``). Run ``python -m repro <command> --help`` for flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.access.io import dump_schema, load_schema
+from repro.access.conformance import check_database
+from repro.beas.system import BEAS
+from repro.discovery import DiscoveryObjective, discover
+from repro.errors import ReproError
+from repro.sql.script import run_script
+from repro.storage.csvio import load_csv
+from repro.storage.database import Database
+
+
+def _load_database(data_dir: Path) -> Database:
+    """Build a database from every .csv and .sql file under ``data_dir``."""
+    if not data_dir.is_dir():
+        raise ReproError(f"data directory not found: {data_dir}")
+    database = Database(name=data_dir.name)
+    for sql_path in sorted(data_dir.glob("*.sql")):
+        run_script(database, sql_path.read_text())
+    for csv_path in sorted(data_dir.glob("*.csv")):
+        table = load_csv(csv_path, table_name=csv_path.stem)
+        database.add_table(table)
+    if not database.table_names:
+        raise ReproError(f"no .csv or .sql files in {data_dir}")
+    return database
+
+
+def _build_beas(args: argparse.Namespace) -> BEAS:
+    database = _load_database(Path(args.data))
+    schema = load_schema(Path(args.schema)) if args.schema else None
+    return BEAS(database, schema)
+
+
+def _read_query(args: argparse.Namespace) -> str:
+    if args.sql:
+        return args.sql
+    if args.file:
+        return Path(args.file).read_text()
+    raise ReproError("provide a query via --sql or --file")
+
+
+# --------------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------------- #
+def _cmd_check(args: argparse.Namespace) -> int:
+    beas = _build_beas(args)
+    decision = beas.check(_read_query(args), budget=args.budget)
+    print(decision.describe())
+    return 0 if decision.covered else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    beas = _build_beas(args)
+    print(beas.explain(_read_query(args)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    beas = _build_beas(args)
+    result = beas.execute(
+        _read_query(args),
+        budget=args.budget,
+        approximate_over_budget=args.approximate,
+    )
+    print("\t".join(result.columns))
+    limit = args.limit if args.limit is not None else len(result.rows)
+    for row in result.rows[:limit]:
+        print("\t".join("NULL" if v is None else str(v) for v in row))
+    if limit < len(result.rows):
+        print(f"... ({len(result.rows) - limit} more rows)")
+    print(f"-- {result.describe()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    beas = _build_beas(args)
+    analysis = beas.analyze_performance(_read_query(args))
+    print(analysis.describe())
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    database = _load_database(Path(args.data))
+    workload_text = Path(args.workload).read_text()
+    queries = [q.strip() for q in workload_text.split(";") if q.strip()]
+    result = discover(
+        database,
+        queries,
+        storage_budget=args.storage_budget,
+        objective=DiscoveryObjective(args.objective),
+        slack=args.slack,
+    )
+    print(result.describe())
+    if args.output:
+        dump_schema(result.schema, Path(args.output))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_conform(args: argparse.Namespace) -> int:
+    database = _load_database(Path(args.data))
+    schema = load_schema(Path(args.schema))
+    report = check_database(database, schema)
+    if report.conforms:
+        print(
+            f"conforms: {report.checked_constraints} constraints hold "
+            f"(largest group: {report.max_group_size})"
+        )
+        return 0
+    print(f"{len(report.violations)} violations:")
+    for violation in report.violations[:20]:
+        print(f"  {violation}")
+    return 1
+
+
+# --------------------------------------------------------------------------- #
+def _add_common(parser: argparse.ArgumentParser, *, schema_required: bool) -> None:
+    parser.add_argument("--data", required=True, help="directory of .csv/.sql files")
+    parser.add_argument(
+        "--schema",
+        required=schema_required,
+        help="access schema JSON (see repro.access.io)",
+    )
+
+
+def _add_query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sql", help="the query text")
+    parser.add_argument("--file", help="file containing the query")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BEAS — bounded evaluation of SQL queries (SIGMOD 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="BE Checker: coverage + bound (+ budget)")
+    _add_common(check, schema_required=True)
+    _add_query_args(check)
+    check.add_argument("--budget", type=int, help="tuple budget (Fig. 2(A))")
+    check.set_defaults(handler=_cmd_check)
+
+    explain = sub.add_parser("explain", help="bounded plan / fallback explanation")
+    _add_common(explain, schema_required=True)
+    _add_query_args(explain)
+    explain.set_defaults(handler=_cmd_explain)
+
+    run = sub.add_parser("run", help="execute a query through BEAS")
+    _add_common(run, schema_required=True)
+    _add_query_args(run)
+    run.add_argument("--budget", type=int)
+    run.add_argument(
+        "--approximate",
+        action="store_true",
+        help="over budget: bounded approximation instead of an error",
+    )
+    run.add_argument("--limit", type=int, help="print at most N rows")
+    run.set_defaults(handler=_cmd_run)
+
+    analyze = sub.add_parser("analyze", help="Fig.-3 performance panel")
+    _add_common(analyze, schema_required=True)
+    _add_query_args(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    discover_cmd = sub.add_parser("discover", help="discover an access schema")
+    discover_cmd.add_argument("--data", required=True)
+    discover_cmd.add_argument(
+        "--workload", required=True, help="file of ';'-separated queries"
+    )
+    discover_cmd.add_argument("--storage-budget", type=int, dest="storage_budget")
+    discover_cmd.add_argument(
+        "--objective",
+        choices=[o.value for o in DiscoveryObjective],
+        default=DiscoveryObjective.COVERAGE.value,
+    )
+    discover_cmd.add_argument("--slack", type=float, default=1.5)
+    discover_cmd.add_argument("--output", help="write the schema JSON here")
+    discover_cmd.set_defaults(handler=_cmd_discover)
+
+    conform = sub.add_parser("conform", help="check D |= A")
+    _add_common(conform, schema_required=True)
+    conform.set_defaults(handler=_cmd_conform)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Mine candidate access constraints from historical query patterns.
+
+For each relation occurrence in each workload query, the attributes bound
+by constants or reachable through equi-join atoms are exactly the ones a
+bounded plan could present as fetch keys (``X``); the remaining attributes
+the query needs from that occurrence must come back from the index
+(``Y``). Every such (R, X, Y) shape is a candidate; variants with
+constants-only keys are added because they seed plans (a fetch whose whole
+key is constant can always run first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.catalog.schema import DatabaseSchema
+from repro.errors import NormalizationError, SQLError
+from repro.sql import ast
+from repro.sql.normalize import ConjunctiveQuery, normalize
+from repro.sql.parser import parse
+
+
+@dataclass(frozen=True)
+class CandidateConstraint:
+    """An un-profiled candidate ``R(X -> Y)`` with workload provenance."""
+
+    relation: str
+    x: tuple[str, ...]
+    y: tuple[str, ...]
+    supporting_queries: frozenset[int] = frozenset()
+
+    def key(self) -> tuple:
+        return (self.relation, self.x, self.y)
+
+
+def _occurrence_candidates(
+    cq: ConjunctiveQuery, query_index: int
+) -> list[CandidateConstraint]:
+    out: list[CandidateConstraint] = []
+    # attributes equated with a *different* occurrence (join keys)
+    join_attrs: dict[str, set[str]] = {}
+    for a, b in cq.equalities:
+        if a.binding != b.binding:
+            join_attrs.setdefault(a.binding, set()).add(a.column)
+            join_attrs.setdefault(b.binding, set()).add(b.column)
+
+    for binding, relation in cq.occurrences.items():
+        needed = cq.attributes_of(binding)
+        constants = {
+            attr.column for attr in cq.selections if attr.binding == binding
+        }
+        joins = join_attrs.get(binding, set())
+
+        shapes: set[tuple[tuple[str, ...], tuple[str, ...]]] = set()
+        for x_set in ({*constants, *joins}, constants):
+            x = tuple(sorted(set(x_set) & needed))
+            y = tuple(sorted(needed - set(x)))
+            if y:
+                shapes.add((x, y))
+        for x, y in shapes:
+            out.append(
+                CandidateConstraint(
+                    relation=relation,
+                    x=x,
+                    y=y,
+                    supporting_queries=frozenset({query_index}),
+                )
+            )
+    return out
+
+
+def mine_candidates(
+    workload: Sequence[Union[str, ast.Statement]],
+    schema: DatabaseSchema,
+) -> list[CandidateConstraint]:
+    """Extract deduplicated candidates from ``workload``.
+
+    Queries that fail to parse or fall outside the SPJA fragment are
+    skipped (they cannot be boundedly evaluated anyway). Candidates
+    occurring in several queries merge their provenance sets.
+    """
+    merged: dict[tuple, CandidateConstraint] = {}
+    for query_index, query in enumerate(workload):
+        try:
+            statement = parse(query) if isinstance(query, str) else query
+            blocks = _select_blocks(statement)
+        except SQLError:
+            continue
+        for block in blocks:
+            try:
+                cq = normalize(block, schema)
+            except (NormalizationError, SQLError):
+                continue
+            for candidate in _occurrence_candidates(cq, query_index):
+                key = candidate.key()
+                if key in merged:
+                    existing = merged[key]
+                    merged[key] = CandidateConstraint(
+                        relation=existing.relation,
+                        x=existing.x,
+                        y=existing.y,
+                        supporting_queries=existing.supporting_queries
+                        | candidate.supporting_queries,
+                    )
+                else:
+                    merged[key] = candidate
+    # queries sharing a key shape (relation, X) get a union-Y variant too:
+    # one wider index can then serve several queries at once
+    by_key_shape: dict[tuple, list[CandidateConstraint]] = {}
+    for candidate in merged.values():
+        by_key_shape.setdefault((candidate.relation, candidate.x), []).append(candidate)
+    for (relation, x), group in by_key_shape.items():
+        if len(group) < 2:
+            continue
+        union_y = tuple(sorted({col for c in group for col in c.y} - set(x)))
+        if not union_y:
+            continue
+        provenance = frozenset().union(*(c.supporting_queries for c in group))
+        key = (relation, x, union_y)
+        if key in merged:
+            provenance |= merged[key].supporting_queries
+        merged[key] = CandidateConstraint(
+            relation=relation,
+            x=x,
+            y=union_y,
+            supporting_queries=provenance,
+        )
+
+    # deterministic order: most-supported first, then by shape
+    return sorted(
+        merged.values(),
+        key=lambda c: (-len(c.supporting_queries), c.relation, c.x, c.y),
+    )
+
+
+def _select_blocks(statement: ast.Statement) -> Iterable[ast.SelectStatement]:
+    if isinstance(statement, ast.SelectStatement):
+        return [statement]
+    blocks: list[ast.SelectStatement] = []
+    stack: list[ast.Statement] = [statement]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.SetOperation):
+            stack.extend([node.left, node.right])
+        else:
+            blocks.append(node)
+    return blocks

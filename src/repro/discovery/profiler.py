@@ -1,0 +1,101 @@
+"""Profile candidate constraints against the data.
+
+For each mined candidate ``R(X -> Y)`` the profiler computes, in one
+group-by pass over ``R``:
+
+* the tightest cardinality bound ``N`` the data supports (the paper's
+  constants — 500, 12, 2000 in Example 1 — are "upper bounds aggregated
+  from historical datasets", so a slack factor can inflate the observed
+  maximum to leave headroom for future data);
+* the index storage cost in value cells (keys + bucket entries), checked
+  against the discovery storage limit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.access.constraint import AccessConstraint
+from repro.discovery.candidates import CandidateConstraint
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class ProfiledCandidate:
+    """A candidate with data-derived bound and storage cost."""
+
+    candidate: CandidateConstraint
+    n: int  # declared bound (observed max, inflated by slack)
+    observed_max: int  # tightest bound the current data supports
+    key_count: int
+    entry_count: int
+    storage_cells: int
+
+    def to_constraint(self, name: Optional[str] = None) -> AccessConstraint:
+        return AccessConstraint(
+            self.candidate.relation,
+            self.candidate.x,
+            self.candidate.y,
+            self.n,
+            name=name,
+        )
+
+    @property
+    def supporting_queries(self) -> frozenset[int]:
+        return self.candidate.supporting_queries
+
+
+def profile_candidate(
+    database: Database,
+    candidate: CandidateConstraint,
+    *,
+    slack: float = 1.0,
+    max_n: Optional[int] = None,
+) -> Optional[ProfiledCandidate]:
+    """Profile one candidate; ``None`` when its bound would exceed ``max_n``.
+
+    ``slack >= 1.0`` inflates the observed maximum group size, mirroring
+    how the paper's constants are aggregated upper bounds rather than
+    exact maxima.
+    """
+    table = database.table(candidate.relation)
+    x_positions = table.schema.positions(candidate.x)
+    y_positions = table.schema.positions(candidate.y)
+
+    groups: dict[tuple, set[tuple]] = {}
+    for row in table.rows:
+        key = tuple(row[i] for i in x_positions)
+        groups.setdefault(key, set()).add(tuple(row[i] for i in y_positions))
+
+    observed = max((len(v) for v in groups.values()), default=0)
+    declared = max(int(math.ceil(observed * slack)), observed, 1)
+    if max_n is not None and declared > max_n:
+        return None
+    entries = sum(len(v) for v in groups.values())
+    storage = len(groups) * len(candidate.x) + entries * len(candidate.y)
+    return ProfiledCandidate(
+        candidate=candidate,
+        n=declared,
+        observed_max=observed,
+        key_count=len(groups),
+        entry_count=entries,
+        storage_cells=storage,
+    )
+
+
+def profile_candidates(
+    database: Database,
+    candidates: Iterable[CandidateConstraint],
+    *,
+    slack: float = 1.0,
+    max_n: Optional[int] = None,
+) -> list[ProfiledCandidate]:
+    """Profile many candidates, dropping those whose bound is too loose."""
+    out: list[ProfiledCandidate] = []
+    for candidate in candidates:
+        profiled = profile_candidate(database, candidate, slack=slack, max_n=max_n)
+        if profiled is not None:
+            out.append(profiled)
+    return out

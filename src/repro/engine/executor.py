@@ -1,0 +1,121 @@
+"""The conventional engine facade: SQL text in, rows out.
+
+``ConventionalEngine`` is the stand-in for the host DBMS (PostgreSQL in
+the paper's deployment) and, parameterised by profile, for the commercial
+comparators. It answers any query in the supported fragment by scanning
+base tables, so its cost grows linearly with ``|D|`` — the behaviour
+Fig. 4 contrasts with BEAS's flat line.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.catalog.statistics import TableStatistics
+from repro.sql import ast
+from repro.sql.normalize import normalize
+from repro.sql.parser import parse
+from repro.storage.database import Database
+from repro.engine.logical import PlanNode, SetOpNode, explain
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.physical import PhysicalExecutor
+from repro.engine.planner import plan_conjunctive_query
+from repro.engine.profiles import POSTGRESQL, EngineProfile
+
+
+@dataclass
+class QueryResult:
+    """Result of one query: named columns, row tuples, and metrics."""
+
+    columns: list[str]
+    rows: list[tuple]
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+
+    def to_set(self) -> set[tuple]:
+        return set(self.rows)
+
+    def sorted_rows(self) -> list[tuple]:
+        return sorted(self.rows, key=lambda r: tuple((v is None, str(type(v)), v) for v in r))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class ConventionalEngine:
+    """Scan-based SQL engine over an in-memory :class:`Database`."""
+
+    def __init__(self, database: Database, profile: EngineProfile = POSTGRESQL):
+        self.database = database
+        self.profile = profile
+        self._stats_cache: dict[str, tuple[int, TableStatistics]] = {}
+
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> dict[str, TableStatistics]:
+        """Per-table statistics, cached until the table's row count changes."""
+        stats: dict[str, TableStatistics] = {}
+        for table in self.database:
+            name = table.schema.name
+            cached = self._stats_cache.get(name)
+            if cached is not None and cached[0] == len(table):
+                stats[name] = cached[1]
+            else:
+                computed = table.statistics()
+                self._stats_cache[name] = (len(table), computed)
+                stats[name] = computed
+        return stats
+
+    def invalidate_statistics(self) -> None:
+        self._stats_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    def plan(self, query: Union[str, ast.Statement]) -> PlanNode:
+        """Build a logical plan without executing it."""
+        statement = parse(query) if isinstance(query, str) else query
+        return self._plan_statement(statement)
+
+    def _plan_statement(self, statement: ast.Statement) -> PlanNode:
+        if isinstance(statement, ast.SetOperation):
+            left = self._plan_statement(statement.left)
+            right = self._plan_statement(statement.right)
+            return SetOpNode(statement.op, left, right, statement.all)
+        cq = normalize(statement, self.database.schema)
+        return plan_conjunctive_query(cq, self.statistics())
+
+    def explain(self, query: Union[str, ast.Statement]) -> str:
+        return explain(self.plan(query))
+
+    # ------------------------------------------------------------------ #
+    def execute(self, query: Union[str, ast.Statement]) -> QueryResult:
+        """Parse, plan, and execute ``query``; returns rows + metrics."""
+        statement = parse(query) if isinstance(query, str) else query
+        metrics = ExecutionMetrics()
+        start = time.perf_counter()
+        plan = self._plan_statement(statement)
+        executor = PhysicalExecutor(self.database, self.profile, metrics)
+        result = executor.run(plan)
+        metrics.seconds = time.perf_counter() - start
+        metrics.rows_output = len(result.rows)
+        columns = [
+            label if isinstance(label, str) else str(label)
+            for label in result.labels
+        ]
+        return QueryResult(columns=columns, rows=result.rows, metrics=metrics)
+
+    def execute_plan(self, plan: PlanNode) -> QueryResult:
+        """Execute an already-built logical plan (used by the BE optimizer)."""
+        metrics = ExecutionMetrics()
+        start = time.perf_counter()
+        executor = PhysicalExecutor(self.database, self.profile, metrics)
+        result = executor.run(plan)
+        metrics.seconds = time.perf_counter() - start
+        metrics.rows_output = len(result.rows)
+        columns = [
+            label if isinstance(label, str) else str(label)
+            for label in result.labels
+        ]
+        return QueryResult(columns=columns, rows=result.rows, metrics=metrics)

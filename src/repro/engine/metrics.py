@@ -1,0 +1,60 @@
+"""Execution metrics shared by both engines.
+
+The paper's Fig. 3 reports, per query: total time, number of tuples
+fetched/scanned, and a per-operation cost breakdown. Both the conventional
+executor and the BE plan executor populate this structure so the analyzer
+can compare them operation by operation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperationCost:
+    """Cost record for one physical operation in a plan."""
+
+    label: str  # human-readable, e.g. "scan(call)" or "fetch(psi1)"
+    tuples_in: int = 0
+    tuples_out: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregated counters for one query execution."""
+
+    tuples_scanned: int = 0  # base-table tuples read (full rows)
+    tuples_fetched: int = 0  # partial tuples fetched via access indices
+    intermediate_rows: int = 0  # rows produced by joins/filters
+    rows_output: int = 0
+    seconds: float = 0.0
+    operations: list[OperationCost] = field(default_factory=list)
+
+    @property
+    def tuples_accessed(self) -> int:
+        """Total base-data tuples touched (scan + fetch)."""
+        return self.tuples_scanned + self.tuples_fetched
+
+    def record(self, label: str, tuples_in: int, tuples_out: int, seconds: float) -> OperationCost:
+        op = OperationCost(label, tuples_in, tuples_out, seconds)
+        self.operations.append(op)
+        return op
+
+
+class Stopwatch:
+    """Tiny monotonic stopwatch used by the executors."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def lap(self) -> float:
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

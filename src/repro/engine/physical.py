@@ -1,0 +1,492 @@
+"""Physical operators: interpret a logical plan over a Database.
+
+Everything is materialised (lists of row tuples) — predictable, easy to
+meter, and appropriate for an in-memory engine. Each operator records an
+:class:`~repro.engine.metrics.OperationCost` so the Fig.-3-style analyzer
+can break a query's cost down per operation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.normalize import Attribute
+from repro.storage.database import Database
+from repro.engine.expressions import compile_expression, compile_predicate
+from repro.engine.logical import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    MaterializedNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SetOpNode,
+    SortNode,
+)
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.profiles import EngineProfile
+
+Row = tuple
+
+
+@dataclass
+class Intermediate:
+    """A materialised intermediate relation with labelled columns."""
+
+    labels: list[object]  # Attribute | str | ast.FunctionCall
+    rows: list[Row]
+    _layout: Optional[dict[object, int]] = field(default=None, repr=False)
+
+    @property
+    def layout(self) -> dict[object, int]:
+        if self._layout is None:
+            self._layout = {label: i for i, label in enumerate(self.labels)}
+        return self._layout
+
+
+def _busy_work(row: Row, units: int) -> None:
+    """Honest per-row overhead work for comparator profiles (see profiles.py)."""
+    for _ in range(units):
+        list(row)
+
+
+class PhysicalExecutor:
+    """Interprets logical plans against a database under a profile."""
+
+    def __init__(
+        self,
+        database: Database,
+        profile: EngineProfile,
+        metrics: ExecutionMetrics,
+    ):
+        self._db = database
+        self._profile = profile
+        self._metrics = metrics
+
+    # ------------------------------------------------------------------ #
+    def run(self, node: PlanNode) -> Intermediate:
+        if isinstance(node, ScanNode):
+            return self._scan(node)
+        if isinstance(node, FilterNode):
+            return self._filter(node)
+        if isinstance(node, JoinNode):
+            return self._join(node)
+        if isinstance(node, AggregateNode):
+            return self._aggregate(node)
+        if isinstance(node, ProjectNode):
+            return self._project(node)
+        if isinstance(node, DistinctNode):
+            return self._distinct(node)
+        if isinstance(node, SortNode):
+            return self._sort(node)
+        if isinstance(node, LimitNode):
+            return self._limit(node)
+        if isinstance(node, SetOpNode):
+            return self._set_op(node)
+        if isinstance(node, MaterializedNode):
+            return Intermediate(list(node.labels), list(node.rows))
+        raise ExecutionError(f"unknown plan node {node!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def _scan(self, node: ScanNode) -> Intermediate:
+        start = time.perf_counter()
+        table = self._db.table(node.table_name)
+        base_labels = [
+            Attribute(node.binding, column) for column in table.schema.column_names
+        ]
+        base_layout = {label: i for i, label in enumerate(base_labels)}
+        keep = table.schema.positions(node.columns)
+        labels: list[object] = [Attribute(node.binding, c) for c in node.columns]
+        overhead = self._profile.row_overhead
+
+        predicate = (
+            compile_predicate(node.predicate, base_layout)
+            if node.predicate is not None
+            else None
+        )
+        rows: list[Row] = []
+        if overhead:
+            for row in table.rows:
+                _busy_work(row, overhead)
+                if predicate is None or predicate(row):
+                    rows.append(tuple(row[i] for i in keep))
+        else:
+            if predicate is None:
+                rows = [tuple(row[i] for i in keep) for row in table.rows]
+            else:
+                rows = [
+                    tuple(row[i] for i in keep)
+                    for row in table.rows
+                    if predicate(row)
+                ]
+        self._metrics.tuples_scanned += len(table)
+        self._metrics.record(
+            f"scan({node.table_name} as {node.binding})",
+            len(table),
+            len(rows),
+            time.perf_counter() - start,
+        )
+        return Intermediate(labels, rows)
+
+    def _filter(self, node: FilterNode) -> Intermediate:
+        child = self.run(node.child)
+        start = time.perf_counter()
+        predicate = compile_predicate(node.predicate, child.layout)
+        rows = [row for row in child.rows if predicate(row)]
+        self._metrics.record(
+            "filter", len(child.rows), len(rows), time.perf_counter() - start
+        )
+        return Intermediate(child.labels, rows)
+
+    # ------------------------------------------------------------------ #
+    def _join(self, node: JoinNode) -> Intermediate:
+        left = self.run(node.left)
+        right = self.run(node.right)
+        start = time.perf_counter()
+        labels = left.labels + right.labels
+
+        if not node.pairs:
+            rows = [l + r for l in left.rows for r in right.rows]
+            algorithm = "cross"
+        else:
+            left_keys = [left.layout[a] for a, _ in node.pairs]
+            right_keys = [right.layout[b] for _, b in node.pairs]
+            algorithm = self._profile.join_algorithm
+            if algorithm == "hash":
+                rows = self._hash_join(left.rows, right.rows, left_keys, right_keys)
+            elif algorithm == "sort_merge":
+                rows = self._sort_merge_join(
+                    left.rows, right.rows, left_keys, right_keys
+                )
+            else:
+                rows = self._block_nested_join(
+                    left.rows, right.rows, left_keys, right_keys
+                )
+        self._metrics.intermediate_rows += len(rows)
+        self._metrics.record(
+            f"join[{algorithm}]",
+            len(left.rows) + len(right.rows),
+            len(rows),
+            time.perf_counter() - start,
+        )
+        return Intermediate(labels, rows)
+
+    @staticmethod
+    def _hash_join(
+        left_rows: list[Row],
+        right_rows: list[Row],
+        left_keys: list[int],
+        right_keys: list[int],
+    ) -> list[Row]:
+        # build on the smaller input
+        if len(left_rows) <= len(right_rows):
+            table: dict[tuple, list[Row]] = {}
+            for row in left_rows:
+                key = tuple(row[i] for i in left_keys)
+                if None in key:
+                    continue
+                table.setdefault(key, []).append(row)
+            out: list[Row] = []
+            for row in right_rows:
+                key = tuple(row[i] for i in right_keys)
+                if None in key:
+                    continue
+                for match in table.get(key, ()):
+                    out.append(match + row)
+            return out
+        table = {}
+        for row in right_rows:
+            key = tuple(row[i] for i in right_keys)
+            if None in key:
+                continue
+            table.setdefault(key, []).append(row)
+        out = []
+        for row in left_rows:
+            key = tuple(row[i] for i in left_keys)
+            if None in key:
+                continue
+            for match in table.get(key, ()):
+                out.append(row + match)
+        return out
+
+    @staticmethod
+    def _sort_merge_join(
+        left_rows: list[Row],
+        right_rows: list[Row],
+        left_keys: list[int],
+        right_keys: list[int],
+    ) -> list[Row]:
+        def keyed(rows: list[Row], keys: list[int]) -> list[tuple[tuple, Row]]:
+            out = []
+            for row in rows:
+                key = tuple(row[i] for i in keys)
+                if None in key:
+                    continue
+                out.append((key, row))
+            out.sort(key=lambda kr: kr[0])
+            return out
+
+        left_sorted = keyed(left_rows, left_keys)
+        right_sorted = keyed(right_rows, right_keys)
+        out: list[Row] = []
+        i = j = 0
+        while i < len(left_sorted) and j < len(right_sorted):
+            lk = left_sorted[i][0]
+            rk = right_sorted[j][0]
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                # gather the equal-key runs and emit their product
+                i_end = i
+                while i_end < len(left_sorted) and left_sorted[i_end][0] == lk:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_sorted) and right_sorted[j_end][0] == rk:
+                    j_end += 1
+                for _, lrow in left_sorted[i:i_end]:
+                    for _, rrow in right_sorted[j:j_end]:
+                        out.append(lrow + rrow)
+                i, j = i_end, j_end
+        return out
+
+    def _block_nested_join(
+        self,
+        left_rows: list[Row],
+        right_rows: list[Row],
+        left_keys: list[int],
+        right_keys: list[int],
+    ) -> list[Row]:
+        block = self._profile.block_size
+        out: list[Row] = []
+        for offset in range(0, len(left_rows), block):
+            chunk = left_rows[offset : offset + block]
+            for rrow in right_rows:
+                rkey = tuple(rrow[i] for i in right_keys)
+                if None in rkey:
+                    continue
+                for lrow in chunk:
+                    if tuple(lrow[i] for i in left_keys) == rkey:
+                        out.append(lrow + rrow)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _aggregate(self, node: AggregateNode) -> Intermediate:
+        child = self.run(node.child)
+        start = time.perf_counter()
+        group_positions = [child.layout[attr] for attr in node.group_by]
+
+        groups: dict[tuple, list[Row]] = {}
+        if group_positions:
+            for row in child.rows:
+                key = tuple(row[i] for i in group_positions)
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = list(child.rows)  # scalar aggregate: one (maybe empty) group
+
+        labels: list[object] = list(node.group_by) + list(node.calls)
+        evaluators = [
+            self._compile_aggregate(call, child.layout) for call in node.calls
+        ]
+        rows: list[Row] = []
+        for key, members in groups.items():
+            values = tuple(evaluate(members) for evaluate in evaluators)
+            rows.append(key + values)
+
+        result = Intermediate(labels, rows)
+        if node.having is not None:
+            aggregate_values = {
+                call: result.layout[call] for call in node.calls
+            }
+            predicate = compile_predicate(
+                node.having, result.layout, aggregate_values
+            )
+            result = Intermediate(labels, [r for r in result.rows if predicate(r)])
+        self._metrics.record(
+            "aggregate", len(child.rows), len(result.rows), time.perf_counter() - start
+        )
+        return result
+
+    @staticmethod
+    def _compile_aggregate(call: ast.FunctionCall, layout: dict[object, int]):
+        """Return ``rows -> aggregate value`` for one call."""
+        if call.name == "COUNT" and isinstance(call.args[0], ast.Star):
+            if call.distinct:
+                return lambda rows: len({tuple(r) for r in rows})
+            return lambda rows: len(rows)
+
+        argument = compile_expression(call.args[0], layout)
+
+        def non_null(rows: list[Row]):
+            for row in rows:
+                value = argument(row)
+                if value is not None:
+                    yield value
+
+        name = call.name
+        distinct = call.distinct
+        if name == "COUNT":
+            if distinct:
+                return lambda rows: len(set(non_null(rows)))
+            return lambda rows: sum(1 for _ in non_null(rows))
+        if name == "SUM":
+            def agg_sum(rows: list[Row]):
+                values = set(non_null(rows)) if distinct else list(non_null(rows))
+                return sum(values) if values else None
+            return agg_sum
+        if name == "AVG":
+            def agg_avg(rows: list[Row]):
+                values = (
+                    list(set(non_null(rows))) if distinct else list(non_null(rows))
+                )
+                return sum(values) / len(values) if values else None
+            return agg_avg
+        if name == "MIN":
+            def agg_min(rows: list[Row]):
+                values = list(non_null(rows))
+                return min(values) if values else None
+            return agg_min
+        if name == "MAX":
+            def agg_max(rows: list[Row]):
+                values = list(non_null(rows))
+                return max(values) if values else None
+            return agg_max
+        raise ExecutionError(f"unsupported aggregate {name}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def _project(self, node: ProjectNode) -> Intermediate:
+        child = self.run(node.child)
+        start = time.perf_counter()
+        aggregate_values = {
+            label: index
+            for label, index in child.layout.items()
+            if isinstance(label, ast.FunctionCall)
+        }
+        evaluators = [
+            compile_expression(item.expression, child.layout, aggregate_values)
+            for item in node.items
+        ]
+        labels: list[object] = [item.name for item in node.items]
+        rows = [tuple(e(row) for e in evaluators) for row in child.rows]
+        self._metrics.record(
+            "project", len(child.rows), len(rows), time.perf_counter() - start
+        )
+        return Intermediate(labels, rows)
+
+    def _distinct(self, node: DistinctNode) -> Intermediate:
+        child = self.run(node.child)
+        start = time.perf_counter()
+        seen: set[Row] = set()
+        rows: list[Row] = []
+        for row in child.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        self._metrics.record(
+            "distinct", len(child.rows), len(rows), time.perf_counter() - start
+        )
+        return Intermediate(child.labels, rows)
+
+    def _sort(self, node: SortNode) -> Intermediate:
+        child = self.run(node.child)
+        start = time.perf_counter()
+        aggregate_values = {
+            label: index
+            for label, index in child.layout.items()
+            if isinstance(label, ast.FunctionCall)
+        }
+        rows = list(child.rows)
+        # stable sorts applied last-key-first
+        for order in reversed(node.order_by):
+            evaluator = compile_expression(
+                order.expression, child.layout, aggregate_values
+            )
+            rows.sort(
+                key=lambda row: _sort_key(evaluator(row)),
+                reverse=not order.ascending,
+            )
+        self._metrics.record(
+            "sort", len(child.rows), len(rows), time.perf_counter() - start
+        )
+        return Intermediate(child.labels, rows)
+
+    def _limit(self, node: LimitNode) -> Intermediate:
+        child = self.run(node.child)
+        offset = node.offset or 0
+        end = offset + node.limit if node.limit is not None else None
+        rows = child.rows[offset:end]
+        self._metrics.record("limit", len(child.rows), len(rows), 0.0)
+        return Intermediate(child.labels, rows)
+
+    def _set_op(self, node: SetOpNode) -> Intermediate:
+        left = self.run(node.left)
+        right = self.run(node.right)
+        start = time.perf_counter()
+        if len(left.labels) != len(right.labels):
+            raise ExecutionError(
+                "set operation arguments have different numbers of columns"
+            )
+        if node.op == "UNION":
+            if node.all:
+                rows = left.rows + right.rows
+            else:
+                rows = _dedupe(left.rows + right.rows)
+        elif node.op == "INTERSECT":
+            if node.all:
+                from collections import Counter
+
+                counts = Counter(right.rows)
+                rows = []
+                for row in left.rows:
+                    if counts.get(row, 0) > 0:
+                        counts[row] -= 1
+                        rows.append(row)
+            else:
+                right_set = set(right.rows)
+                rows = _dedupe([row for row in left.rows if row in right_set])
+        elif node.op == "EXCEPT":
+            if node.all:
+                from collections import Counter
+
+                counts = Counter(right.rows)
+                rows = []
+                for row in left.rows:
+                    if counts.get(row, 0) > 0:
+                        counts[row] -= 1
+                    else:
+                        rows.append(row)
+            else:
+                right_set = set(right.rows)
+                rows = _dedupe([row for row in left.rows if row not in right_set])
+        else:  # pragma: no cover
+            raise ExecutionError(f"unknown set operation {node.op}")
+        self._metrics.record(
+            node.op.lower(),
+            len(left.rows) + len(right.rows),
+            len(rows),
+            time.perf_counter() - start,
+        )
+        return Intermediate(left.labels, rows)
+
+
+def _dedupe(rows: list[Row]) -> list[Row]:
+    seen: set[Row] = set()
+    out: list[Row] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+def _sort_key(value: Any) -> tuple:
+    """NULLs first on ascending order; values assumed type-homogeneous."""
+    return (value is not None, value)

@@ -1,0 +1,49 @@
+"""Engine profiles standing in for the commercial DBMSs of the evaluation.
+
+The paper compares BEAS against PostgreSQL, MySQL and MariaDB. Those
+systems are closed substitutes here (see DESIGN.md §1): each profile runs
+the *same* correct engine but with different physical choices, all of them
+honest work (really executed, affecting wall-clock), never fudged timings:
+
+* ``join_algorithm`` — PostgreSQL-profile uses hash joins; the MySQL/
+  MariaDB profiles use sort-merge (MySQL only gained hash joins in 8.0.18;
+  the paper predates that).
+* ``row_overhead`` — extra per-row materialisation work in scans, modelling
+  heavier tuple headers / row formats. This is what separates MariaDB from
+  MySQL, matching the paper's consistent ordering PG < MariaDB < MySQL.
+
+The profiles preserve the evaluation's *shape*: all three are linear in
+``|D|`` with distinct constants, while BEAS is flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Physical configuration of the conventional engine."""
+
+    name: str
+    join_algorithm: str = "hash"  # 'hash' | 'sort_merge' | 'block_nested'
+    row_overhead: int = 0  # synthetic per-scanned-row work units
+    block_size: int = 1024  # for block-nested-loop joins
+
+    def __post_init__(self) -> None:
+        if self.join_algorithm not in ("hash", "sort_merge", "block_nested"):
+            raise ValueError(f"unknown join algorithm {self.join_algorithm!r}")
+        if self.row_overhead < 0:
+            raise ValueError("row_overhead must be >= 0")
+
+
+# Overheads are calibrated so the profiles reproduce the paper's consistent
+# cost ordering (PostgreSQL < MariaDB < MySQL, roughly 1 : 2.7 : 3.2 at
+# 200 GB in Fig. 4) while every profile stays linear in |D|.
+POSTGRESQL = EngineProfile(name="postgresql", join_algorithm="hash", row_overhead=0)
+MARIADB = EngineProfile(name="mariadb", join_algorithm="sort_merge", row_overhead=3)
+MYSQL = EngineProfile(name="mysql", join_algorithm="sort_merge", row_overhead=5)
+
+PROFILES: dict[str, EngineProfile] = {
+    profile.name: profile for profile in (POSTGRESQL, MARIADB, MYSQL)
+}

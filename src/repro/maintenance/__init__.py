@@ -1,0 +1,22 @@
+"""Access schema maintenance (S8).
+
+Paper §3, Maintenance module: the catalog "(a) periodically adjusts
+constraints in A based on the changes to the historical queries ... and
+(b) incrementally updates the indices of A in response to changes to the
+datasets". :mod:`repro.maintenance.incremental` implements (b) — exact
+per-bucket delta maintenance under inserts and deletes — and
+:mod:`repro.maintenance.monitor` implements (a)'s data half: bound drift
+detection and re-estimation.
+"""
+
+from repro.maintenance.incremental import MaintenanceManager, UpdateBatch, ViolationPolicy
+from repro.maintenance.monitor import BoundSuggestion, DriftMonitor, DriftReport
+
+__all__ = [
+    "MaintenanceManager",
+    "UpdateBatch",
+    "ViolationPolicy",
+    "DriftMonitor",
+    "DriftReport",
+    "BoundSuggestion",
+]

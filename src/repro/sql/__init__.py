@@ -1,0 +1,26 @@
+"""SQL frontend (S3): lexer, AST, parser, printer, and normalizer.
+
+The subset implemented is the one BEAS operates on: single-block
+``SELECT [DISTINCT] ... FROM ... [JOIN ... ON ...] WHERE ... GROUP BY ...
+HAVING ... ORDER BY ... LIMIT`` with aggregates, arithmetic, ``IN`` lists,
+``BETWEEN``, ``LIKE``, ``IS [NOT] NULL``, and set operations
+(``UNION``/``INTERSECT``/``EXCEPT``) between blocks.
+"""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse, parse_expression, parse_script
+from repro.sql.printer import to_sql
+from repro.sql.normalize import normalize, ConjunctiveQuery
+from repro.sql.script import run_script, ScriptResult
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "parse_expression",
+    "parse_script",
+    "to_sql",
+    "normalize",
+    "ConjunctiveQuery",
+    "run_script",
+    "ScriptResult",
+]

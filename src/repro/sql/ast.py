@@ -1,0 +1,290 @@
+"""Abstract syntax tree for the SQL subset.
+
+All nodes are frozen dataclasses: hashable, comparable by value, safe to
+share between plans. Expression nodes and statement nodes live in one
+module because the grammar is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: int, float, str, bool, or None (NULL)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A possibly-qualified column reference (``t.c`` or ``c``)."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``t.*`` (select list and COUNT(*))."""
+
+    table: Optional[str] = None
+
+
+#: Comparison operators normalised by the parser (``!=`` becomes ``<>``).
+COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+ARITHMETIC = ("+", "-", "*", "/", "%", "||")
+BOOLEAN_OPS = ("AND", "OR")
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator: arithmetic, comparison, or AND/OR."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operator: ``NOT`` or arithmetic negation ``-``."""
+
+    op: str  # 'NOT' | '-'
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%``/``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """An aggregate call; ``COUNT(*)`` has a single :class:`Star` argument."""
+
+    name: str  # upper-case
+    args: tuple[Expression, ...]
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATES
+
+
+# --------------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry with an optional output alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """Name under which columns of this occurrence are addressed."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit join between two FROM items."""
+
+    kind: str  # 'INNER' | 'LEFT' | 'CROSS'
+    left: "FromItem"
+    right: "FromItem"
+    condition: Optional[Expression] = None
+
+
+FromItem = Union[TableRef, Join]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A single SELECT block."""
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...] = ()
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SetOperation:
+    """``left UNION|INTERSECT|EXCEPT [ALL] right``."""
+
+    op: str  # 'UNION' | 'INTERSECT' | 'EXCEPT'
+    left: "Statement"
+    right: "Statement"
+    all: bool = False
+
+
+Statement = Union[SelectStatement, SetOperation]
+
+
+# --------------------------------------------------------------------------- #
+# DDL / DML statements (CREATE TABLE, INSERT INTO ... VALUES)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    """One column of a CREATE TABLE: name + type name (validated later)."""
+
+    name: str
+    type_name: str  # 'int' | 'float' | 'string' | 'bool' | 'date' (aliases ok)
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE name (col type, ..., PRIMARY KEY (a, b))``."""
+
+    name: str
+    columns: tuple[ColumnDefinition, ...]
+    primary_key: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    """``INSERT INTO name [(cols)] VALUES (...), (...)``.
+
+    Values are literals only (the fragment the loader needs).
+    """
+
+    table: str
+    columns: tuple[str, ...]  # empty = positional
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+ScriptStatement = Union[Statement, CreateTable, InsertValues]
+
+
+# --------------------------------------------------------------------------- #
+# traversal helpers
+# --------------------------------------------------------------------------- #
+
+
+def walk_expression(expr: Expression):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk_expression(expr.left)
+        yield from walk_expression(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, InList):
+        yield from walk_expression(expr.operand)
+        for item in expr.items:
+            yield from walk_expression(item)
+    elif isinstance(expr, Between):
+        yield from walk_expression(expr.operand)
+        yield from walk_expression(expr.low)
+        yield from walk_expression(expr.high)
+    elif isinstance(expr, Like):
+        yield from walk_expression(expr.operand)
+        yield from walk_expression(expr.pattern)
+    elif isinstance(expr, IsNull):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expression(arg)
+
+
+def column_refs(expr: Expression) -> list[ColumnRef]:
+    """All column references inside ``expr``, in syntactic order."""
+    return [node for node in walk_expression(expr) if isinstance(node, ColumnRef)]
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    return any(
+        isinstance(node, FunctionCall) and node.is_aggregate
+        for node in walk_expression(expr)
+    )
+
+
+def conjuncts(expr: Optional[Expression]) -> list[Expression]:
+    """Split a predicate on top-level AND into a flat conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(parts: list[Expression]) -> Optional[Expression]:
+    """Rebuild a conjunction from a list of conjuncts (None when empty)."""
+    result: Optional[Expression] = None
+    for part in parts:
+        result = part if result is None else BinaryOp("AND", result, part)
+    return result

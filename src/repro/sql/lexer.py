@@ -1,0 +1,168 @@
+"""Hand-written SQL lexer.
+
+Produces a list of :class:`~repro.sql.tokens.Token` ending with an EOF
+token. Handles line comments (``--``), block comments (``/* ... */``),
+single-quoted strings with ``''`` escaping, double-quoted identifiers,
+numbers (integer/float with exponent), keywords, operators, punctuation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexerError
+from repro.sql.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenKind
+
+
+def _is_digit(ch: str) -> bool:
+    """ASCII digits only — ``str.isdigit`` accepts Unicode digits like '²'
+    that ``int()`` rejects."""
+    return "0" <= ch <= "9"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into SQL tokens (EOF-terminated)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def location() -> tuple[int, int, int]:
+        return i, line, i - line_start + 1
+
+    def error(message: str) -> LexerError:
+        pos, ln, col = location()
+        return LexerError(message, pos, ln, col)
+
+    while i < n:
+        ch = text[i]
+
+        # -- whitespace -------------------------------------------------
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+
+        # -- comments ---------------------------------------------------
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            line += text.count("\n", i, end)
+            if "\n" in text[i:end]:
+                line_start = i + text[i:end].rfind("\n") + 1
+            i = end + 2
+            continue
+
+        pos, ln, col = location()
+
+        # -- string literal ----------------------------------------------
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise error("unterminated string literal")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                if text[j] == "\n":
+                    line += 1
+                    line_start = j + 1
+                parts.append(text[j])
+                j += 1
+            value = "".join(parts)
+            tokens.append(Token(TokenKind.STRING, text[i : j + 1], value, pos, ln, col))
+            i = j + 1
+            continue
+
+        # -- quoted identifier --------------------------------------------
+        if ch == '"':
+            j = text.find('"', i + 1)
+            if j == -1:
+                raise error("unterminated quoted identifier")
+            name = text[i + 1 : j]
+            if not name:
+                raise error("empty quoted identifier")
+            tokens.append(Token(TokenKind.IDENTIFIER, name, name, pos, ln, col))
+            i = j + 1
+            continue
+
+        # -- number --------------------------------------------------------
+        if _is_digit(ch) or (ch == "." and i + 1 < n and _is_digit(text[i + 1])):
+            j = i
+            is_float = False
+            while j < n and _is_digit(text[j]):
+                j += 1
+            if j < n and text[j] == "." and (j + 1 >= n or text[j + 1] != "."):
+                is_float = True
+                j += 1
+                while j < n and _is_digit(text[j]):
+                    j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and _is_digit(text[k]):
+                    is_float = True
+                    j = k
+                    while j < n and _is_digit(text[j]):
+                        j += 1
+            literal = text[i:j]
+            if is_float:
+                tokens.append(
+                    Token(TokenKind.FLOAT, literal, float(literal), pos, ln, col)
+                )
+            else:
+                tokens.append(
+                    Token(TokenKind.INTEGER, literal, int(literal), pos, ln, col)
+                )
+            i = j
+            continue
+
+        # -- identifier / keyword -------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, upper, pos, ln, col))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, word, word, pos, ln, col))
+            i = j
+            continue
+
+        # -- operators (longest match) ----------------------------------------
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, op, op, pos, ln, col))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        # -- punctuation -------------------------------------------------------
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCTUATION, ch, ch, pos, ln, col))
+            i += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    pos, ln, col = location()
+    tokens.append(Token(TokenKind.EOF, "", None, pos, ln, col))
+    return tokens

@@ -1,0 +1,169 @@
+"""Render AST nodes back to SQL text.
+
+``parse(to_sql(stmt))`` returns an AST equal to ``stmt`` (tested with
+hypothesis); the printed form is normalised (upper-case keywords, explicit
+parentheses only where precedence requires them).
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    # comparisons 4, additive 5, multiplicative 6 (below)
+}
+
+
+def _escape_string(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return _escape_string(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _precedence(expr: ast.Expression) -> int:
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("OR",):
+            return 1
+        if expr.op in ("AND",):
+            return 2
+        if expr.op in ast.COMPARISONS:
+            return 4
+        if expr.op in ("+", "-", "||"):
+            return 5
+        return 6
+    if isinstance(expr, ast.UnaryOp):
+        return 3 if expr.op == "NOT" else 7
+    if isinstance(expr, (ast.InList, ast.Between, ast.Like, ast.IsNull)):
+        return 4
+    return 10  # atoms
+
+
+def expression_to_sql(expr: ast.Expression) -> str:
+    """Render one expression."""
+    if isinstance(expr, ast.Literal):
+        return _literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return str(expr)
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.BinaryOp):
+        mine = _precedence(expr)
+        left = expression_to_sql(expr.left)
+        right = expression_to_sql(expr.right)
+        # comparisons are non-associative in the grammar (one predicate per
+        # level), so comparison-level operands always need parentheses;
+        # other operators parse left-associatively, so only an equal- or
+        # lower-precedence right child needs them
+        left_prec = _precedence(expr.left)
+        if left_prec < mine or (left_prec == mine and expr.op in ast.COMPARISONS):
+            left = f"({left})"
+        if _precedence(expr.right) <= mine:
+            right = f"({right})"
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, ast.UnaryOp):
+        inner = expression_to_sql(expr.operand)
+        if _precedence(expr.operand) < _precedence(expr):
+            inner = f"({inner})"
+        return f"NOT {inner}" if expr.op == "NOT" else f"-{inner}"
+    if isinstance(expr, ast.InList):
+        op = "NOT IN" if expr.negated else "IN"
+        items = ", ".join(expression_to_sql(i) for i in expr.items)
+        return f"{_operand(expr.operand)} {op} ({items})"
+    if isinstance(expr, ast.Between):
+        op = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{_operand(expr.operand)} {op} "
+            f"{_operand(expr.low)} AND {_operand(expr.high)}"
+        )
+    if isinstance(expr, ast.Like):
+        op = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{_operand(expr.operand)} {op} {_operand(expr.pattern)}"
+    if isinstance(expr, ast.IsNull):
+        op = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{_operand(expr.operand)} {op}"
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(expression_to_sql(a) for a in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+    raise TypeError(f"cannot print expression {expr!r}")  # pragma: no cover
+
+
+def _operand(expr: ast.Expression) -> str:
+    text = expression_to_sql(expr)
+    if _precedence(expr) <= 4 and not isinstance(
+        expr, (ast.Literal, ast.ColumnRef, ast.Star, ast.FunctionCall)
+    ):
+        return f"({text})"
+    return text
+
+
+def _from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.TableRef):
+        return f"{item.name} AS {item.alias}" if item.alias else item.name
+    left = _from_item(item.left)
+    right = _from_item(item.right)
+    if item.kind == "CROSS":
+        return f"{left} CROSS JOIN {right}"
+    keyword = "JOIN" if item.kind == "INNER" else f"{item.kind} JOIN"
+    condition = f" ON {expression_to_sql(item.condition)}" if item.condition else ""
+    return f"{left} {keyword} {right}{condition}"
+
+
+def _select_to_sql(stmt: ast.SelectStatement) -> str:
+    parts: list[str] = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    rendered_items = []
+    for item in stmt.items:
+        text = expression_to_sql(item.expression)
+        if item.alias:
+            text += f" AS {item.alias}"
+        rendered_items.append(text)
+    parts.append(", ".join(rendered_items))
+    if stmt.from_items:
+        parts.append("FROM " + ", ".join(_from_item(i) for i in stmt.from_items))
+    if stmt.where is not None:
+        parts.append("WHERE " + expression_to_sql(stmt.where))
+    if stmt.group_by:
+        parts.append("GROUP BY " + ", ".join(expression_to_sql(e) for e in stmt.group_by))
+    if stmt.having is not None:
+        parts.append("HAVING " + expression_to_sql(stmt.having))
+    if stmt.order_by:
+        rendered = []
+        for order in stmt.order_by:
+            text = expression_to_sql(order.expression)
+            rendered.append(text if order.ascending else f"{text} DESC")
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+        if stmt.offset is not None:
+            parts.append(f"OFFSET {stmt.offset}")
+    return " ".join(parts)
+
+
+def to_sql(statement: ast.Statement) -> str:
+    """Render a statement (SELECT block or set operation) as SQL text."""
+    if isinstance(statement, ast.SelectStatement):
+        return _select_to_sql(statement)
+    if isinstance(statement, ast.SetOperation):
+        left = to_sql(statement.left)
+        right = to_sql(statement.right)
+        keyword = statement.op + (" ALL" if statement.all else "")
+        if isinstance(statement.left, ast.SetOperation):
+            left = f"({left})"
+        if isinstance(statement.right, ast.SetOperation):
+            right = f"({right})"
+        return f"{left} {keyword} {right}"
+    raise TypeError(f"cannot print statement {statement!r}")  # pragma: no cover

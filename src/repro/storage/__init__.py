@@ -1,0 +1,7 @@
+"""In-memory relational storage (S2)."""
+
+from repro.storage.table import Table
+from repro.storage.database import Database
+from repro.storage.csvio import load_csv, dump_csv
+
+__all__ = ["Table", "Database", "load_csv", "dump_csv"]

@@ -1,0 +1,122 @@
+"""CSV import/export for tables.
+
+The exported format writes a header with ``name:type`` per column so a table
+round-trips without a separate schema file. NULL is encoded as the empty
+string; empty strings are encoded as ``""``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import DataType, coerce_value
+from repro.errors import StorageError
+from repro.storage.table import Table
+
+_NULL = ""
+_QUOTED_EMPTY = '""'
+
+
+def _encode(value: object) -> str:
+    if value is None:
+        return _NULL
+    if value == "":
+        return _QUOTED_EMPTY
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _decode(text: str, dtype: DataType) -> object:
+    if text == _NULL:
+        return None
+    if text == _QUOTED_EMPTY:
+        return "" if dtype is DataType.STRING else coerce_value("", dtype)
+    return coerce_value(text, dtype)
+
+
+def dump_csv(table: Table, destination: str | Path | TextIO) -> None:
+    """Write ``table`` (schema header + rows) to ``destination``."""
+    own = isinstance(destination, (str, Path))
+    handle: TextIO = open(destination, "w", newline="") if own else destination  # type: ignore[arg-type]
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(
+            f"{col.name}:{col.dtype.value}" for col in table.schema.columns
+        )
+        for row in table.rows:
+            writer.writerow(_encode(v) for v in row)
+    finally:
+        if own:
+            handle.close()
+
+
+def load_csv(
+    source: str | Path | TextIO,
+    schema: TableSchema | None = None,
+    *,
+    table_name: str | None = None,
+) -> Table:
+    """Read a table from ``source``.
+
+    Without an explicit ``schema`` the header must carry ``name:type`` pairs
+    (the format produced by :func:`dump_csv`).
+    """
+    own = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r", newline="") if own else source  # type: ignore[arg-type]
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError("empty CSV input: missing header") from None
+        if schema is None:
+            columns: list[Column] = []
+            for cell in header:
+                if ":" not in cell:
+                    raise StorageError(
+                        f"CSV header cell {cell!r} lacks a ':type' suffix and "
+                        "no schema was supplied"
+                    )
+                name, _, type_text = cell.rpartition(":")
+                try:
+                    dtype = DataType(type_text)
+                except ValueError:
+                    raise StorageError(f"unknown type {type_text!r} in CSV header") from None
+                columns.append(Column(name, dtype))
+            schema = TableSchema(table_name or "csv_table", columns)
+        else:
+            expected = [c.name for c in schema.columns]
+            got = [cell.rpartition(":")[0] if ":" in cell else cell for cell in header]
+            if got != expected:
+                raise StorageError(
+                    f"CSV header {got!r} does not match schema columns {expected!r}"
+                )
+        table = Table(schema)
+        for row in reader:
+            if len(row) != schema.arity:
+                raise StorageError(
+                    f"CSV row arity {len(row)} does not match schema arity {schema.arity}"
+                )
+            table.rows.append(
+                tuple(_decode(cell, col.dtype) for cell, col in zip(row, schema.columns))
+            )
+        return table
+    finally:
+        if own:
+            handle.close()
+
+
+def table_to_csv_text(table: Table) -> str:
+    """Render ``table`` as a CSV string (used by tests and examples)."""
+    buffer = io.StringIO()
+    dump_csv(table, buffer)
+    return buffer.getvalue()
+
+
+def table_from_csv_text(text: str, schema: TableSchema | None = None) -> Table:
+    return load_csv(io.StringIO(text), schema)

@@ -1,0 +1,77 @@
+"""A database instance: named tables over a database schema."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.catalog.schema import DatabaseSchema, TableSchema
+from repro.catalog.statistics import TableStatistics
+from repro.errors import StorageError, UnknownTableError
+from repro.storage.table import Table
+
+
+class Database:
+    """Named collection of :class:`Table` instances.
+
+    A ``Database`` owns a :class:`DatabaseSchema`; tables can be registered
+    from existing :class:`Table` objects or created empty from schemas.
+    """
+
+    def __init__(self, schema: DatabaseSchema | None = None, name: str = "db"):
+        self.name = name
+        self.schema = schema or DatabaseSchema(name=name)
+        self._tables: dict[str, Table] = {}
+        for table_schema in self.schema:
+            self._tables[table_schema.name] = Table(table_schema)
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def create_table(self, table_schema: TableSchema) -> Table:
+        if table_schema.name in self._tables:
+            raise StorageError(f"table {table_schema.name!r} already exists")
+        if table_schema.name not in self.schema:
+            self.schema.add_table(table_schema)
+        table = Table(table_schema)
+        self._tables[table_schema.name] = table
+        return table
+
+    def add_table(self, table: Table) -> Table:
+        if table.schema.name in self._tables:
+            raise StorageError(f"table {table.schema.name!r} already exists")
+        if table.schema.name not in self.schema:
+            self.schema.add_table(table.schema)
+        self._tables[table.schema.name] = table
+        return table
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def insert(self, table: str, row: Sequence[Any], *, coerce: bool = False) -> None:
+        self.table(table).insert(row, coerce=coerce)
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def statistics(self) -> dict[str, TableStatistics]:
+        return {name: table.statistics() for name, table in self._tables.items()}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{len(t)}" for n, t in self._tables.items())
+        return f"Database({self.name}; {parts})"

@@ -1,0 +1,124 @@
+"""In-memory table: a schema plus a list of row tuples.
+
+Rows are plain tuples ordered by the schema's columns — compact, hashable,
+and cheap to project. Mutation goes through :meth:`Table.insert` /
+:meth:`Table.delete` so the maintenance module can observe deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.statistics import TableStatistics, collect_statistics
+from repro.catalog.types import coerce_value, is_compatible
+from repro.errors import StorageError, TypeMismatchError
+
+Row = tuple
+
+
+class Table:
+    """One relation instance."""
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Sequence[Any]] = ()):
+        self.schema = schema
+        self.rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, row: Sequence[Any], *, coerce: bool = False) -> Row:
+        """Append one row. With ``coerce=True`` raw values (e.g. CSV strings)
+        are converted to the declared column types; otherwise they must
+        already match."""
+        if len(row) != self.schema.arity:
+            raise StorageError(
+                f"row arity {len(row)} does not match table "
+                f"{self.schema.name!r} arity {self.schema.arity}"
+            )
+        if coerce:
+            values = tuple(
+                coerce_value(value, column.dtype)
+                for value, column in zip(row, self.schema.columns)
+            )
+        else:
+            for value, column in zip(row, self.schema.columns):
+                if not is_compatible(value, column.dtype):
+                    raise TypeMismatchError(
+                        f"value {value!r} is not a {column.dtype.name} "
+                        f"(column {self.schema.name}.{column.name})"
+                    )
+            values = tuple(row)
+        self.rows.append(values)
+        return values
+
+    def insert_many(self, rows: Iterable[Sequence[Any]], *, coerce: bool = False) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row, coerce=coerce)
+            count += 1
+        return count
+
+    def delete(self, predicate: Callable[[Row], bool]) -> list[Row]:
+        """Remove rows matching ``predicate``; returns the removed rows."""
+        kept: list[Row] = []
+        removed: list[Row] = []
+        for row in self.rows:
+            (removed if predicate(row) else kept).append(row)
+        self.rows = kept
+        return removed
+
+    def delete_rows(self, rows: Iterable[Sequence[Any]]) -> list[Row]:
+        """Remove one occurrence of each given row (bag semantics)."""
+        from collections import Counter
+
+        wanted = Counter(tuple(r) for r in rows)
+        kept: list[Row] = []
+        removed: list[Row] = []
+        for row in self.rows:
+            if wanted.get(row, 0) > 0:
+                wanted[row] -= 1
+                removed.append(row)
+            else:
+                kept.append(row)
+        self.rows = kept
+        return removed
+
+    def clear(self) -> None:
+        self.rows.clear()
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def project(self, columns: Sequence[str], *, distinct: bool = False) -> list[Row]:
+        """Project onto ``columns``; with ``distinct`` deduplicate, preserving
+        first-seen order (deterministic for tests)."""
+        positions = self.schema.positions(columns)
+        projected = [tuple(row[i] for i in positions) for row in self.rows]
+        if not distinct:
+            return projected
+        seen: set[Row] = set()
+        out: list[Row] = []
+        for row in projected:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+    def column_values(self, column: str) -> list[Any]:
+        position = self.schema.position(column)
+        return [row[position] for row in self.rows]
+
+    def statistics(self) -> TableStatistics:
+        return collect_statistics(self)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name}, rows={len(self.rows)})"

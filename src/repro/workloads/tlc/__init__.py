@@ -1,0 +1,22 @@
+"""TLC: the paper's telecom benchmark (12 relations, 285 attributes,
+11 built-in queries, access schema A0 with the paper's ψ1-ψ3)."""
+
+from repro.workloads.tlc.schema import BUSINESS_TYPES, REGIONS, tlc_schema
+from repro.workloads.tlc.generator import TLCDataset, TLCParams, generate_tlc
+from repro.workloads.tlc.access_schema import tlc_access_schema
+from repro.workloads.tlc.queries import TLCQuery, query_by_name, tlc_queries
+from repro.workloads.tlc.export import export_tlc
+
+__all__ = [
+    "tlc_schema",
+    "tlc_access_schema",
+    "generate_tlc",
+    "export_tlc",
+    "TLCDataset",
+    "TLCParams",
+    "TLCQuery",
+    "tlc_queries",
+    "query_by_name",
+    "REGIONS",
+    "BUSINESS_TYPES",
+]

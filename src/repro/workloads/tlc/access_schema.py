@@ -1,0 +1,62 @@
+"""The TLC access schema ``A0``.
+
+ψ1–ψ3 are the paper's Example 1, with the same attributes and the same
+bounds (500, 12, 2000). ψ5–ψ10 extend the schema so the remaining
+built-in analytical queries are covered — the demo's point that "these
+analytical queries are actually boundedly evaluable under a *small*
+access schema" (9 constraints for 11 queries).
+"""
+
+from __future__ import annotations
+
+from repro.access.constraint import AccessConstraint
+from repro.access.schema import AccessSchema
+
+
+def tlc_access_schema() -> AccessSchema:
+    """Build ``A0`` (fresh constraint objects on every call)."""
+    return AccessSchema(
+        [
+            # --- Example 1 of the paper, verbatim ---
+            AccessConstraint(
+                "call", ["pnum", "date"], ["recnum", "region"], 500, name="psi1"
+            ),
+            AccessConstraint(
+                "package", ["pnum", "year"], ["pid", "start", "end"], 12,
+                name="psi2",
+            ),
+            AccessConstraint(
+                "business", ["type", "region"], ["pnum"], 2000, name="psi3"
+            ),
+            # --- supporting constraints for the other built-in queries ---
+            AccessConstraint(
+                "call", ["recnum", "date"], ["pnum", "region"], 300, name="psi5"
+            ),
+            AccessConstraint(
+                "call",
+                ["pnum", "date"],
+                ["call_id", "recnum", "region", "duration_sec", "cost"],
+                500,
+                name="psi6",
+            ),
+            AccessConstraint(
+                "package", ["pid", "year"], ["pnum", "start", "end"], 5000,
+                name="psi7",
+            ),
+            AccessConstraint(
+                "customer",
+                ["pnum"],
+                ["segment", "region", "age_band", "status", "arpu_band"],
+                1,
+                name="psi8",
+            ),
+            AccessConstraint(
+                "sms", ["pnum", "date"], ["recnum", "region"], 200, name="psi9"
+            ),
+            AccessConstraint(
+                "complaint", ["pnum"], ["category", "status", "opened"], 50,
+                name="psi10",
+            ),
+        ],
+        name="A0",
+    )

@@ -1,0 +1,480 @@
+"""Deterministic TLC data generator.
+
+Generates a database instance that **provably conforms** to the access
+schema ``A0`` (asserted by tests): call volumes per (pnum, date), packages
+per (pnum, year), businesses per (type, region), etc. all stay far below
+the declared bounds, mirroring how the paper's constants are aggregated
+upper bounds over historical data.
+
+Scale: ``scale=k`` stands for the paper's "k GB" — row counts grow
+linearly in ``k`` (≈2 600 rows per unit across the 12 relations, ~43 MB
+of Python objects at scale 200), so the conventional engines' cost grows
+linearly while bounded plans stay flat, which is the property Fig. 4
+measures. Generation is seeded and fully deterministic.
+
+The generator also *plants* a small fixed data chain (five businesses of
+type ``t0`` in region ``r0`` holding package ``c0`` over date ``d0`` with
+calls, SMS, complaints, and data usage) so that every built-in query has
+non-empty answers at every scale — the planted rows are the "interesting"
+entities the demo queries talk about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import date as _date, timedelta
+
+from repro.storage.database import Database
+from repro.workloads.tlc.schema import BUSINESS_TYPES, REGIONS, tlc_schema
+
+_NETWORKS = ("2G", "3G", "4G", "5G")
+_CALL_TYPES = ("voice", "conference", "voicemail", "callback")
+_DIRECTIONS = ("out", "in")
+_CODECS = ("AMR", "EVS", "G711", "OPUS")
+_CHANNELS = ("retail", "online", "partner", "phone")
+_SEGMENTS = ("consumer", "smb", "enterprise", "government")
+_AGE_BANDS = ("18-25", "26-35", "36-50", "51-65", "65+")
+_STATUSES = ("active", "suspended", "closed")
+_CATEGORIES = ("billing", "coverage", "device", "roaming", "speed", "service")
+_APP_CATEGORIES = ("video", "social", "web", "music", "gaming", "maps")
+_REVENUE_BANDS = ("small", "medium", "large", "xlarge")
+_TIERS = ("basic", "plus", "premium", "unlimited")
+
+
+@dataclass(frozen=True)
+class TLCParams:
+    """The constants the built-in queries reference (guaranteed to exist)."""
+
+    t0: str = "bank"
+    r0: str = "east"
+    d0: str = "2016-06-15"
+    c0: str = "PLAN05"
+    p0: str = "P0000000"  # a planted busy business number
+    x0: str = "E9999999"  # a planted popular callee
+    m0: int = 6
+    year: int = 2016
+
+
+@dataclass
+class TLCDataset:
+    """A generated TLC instance plus its query constants."""
+
+    database: Database
+    params: TLCParams
+    scale: int
+    seed: int
+
+    @property
+    def total_rows(self) -> int:
+        return self.database.total_rows()
+
+
+def _dates(year: int) -> list[str]:
+    start = _date(year, 5, 1)
+    return [(start + timedelta(days=i)).isoformat() for i in range(60)]
+
+
+def generate_tlc(scale: int = 1, seed: int = 42) -> TLCDataset:
+    """Generate a TLC instance at the given scale ("GB")."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    rng = random.Random(seed * 1_000_003 + scale)
+    params = TLCParams()
+    db = Database(tlc_schema(), name=f"tlc-sf{scale}")
+
+    dates = _dates(params.year)
+    n_pnum = 40 * scale + 100
+    pnums = [f"P{i:07d}" for i in range(n_pnum)]
+    externals = [f"E{i:07d}" for i in range(20 * scale + 200)]
+    recnum_pool = pnums + externals
+    n_business = 10 * scale + 50
+    business_pnums = pnums[:n_business]
+    planted = business_pnums[:5]  # includes params.p0
+    towers = [f"T{i:04d}" for i in range(20 * scale)] or ["T0000"]
+    pids = [f"PLAN{i:02d}" for i in range(30)]
+    months = "2016-01-01 2016-02-01 2016-03-01 2016-04-01 2016-05-01 2016-06-01".split()
+    month_ends = (
+        "2016-03-31 2016-06-30 2016-09-30 2016-12-31 2016-08-31 2016-10-31".split()
+    )
+
+    _fill_region_info(db)
+    _fill_service_plans(db, pids)
+    _fill_cell_towers(db, rng, towers)
+    _fill_customers(db, rng, pnums)
+    _fill_businesses(db, rng, business_pnums, planted, params)
+    _fill_packages(db, rng, pnums, planted, pids, months, month_ends, params)
+    _fill_calls(db, rng, scale, pnums, recnum_pool, dates, towers, planted, params)
+    _fill_sms(db, rng, scale, pnums, recnum_pool, dates, towers, planted, params)
+    _fill_data_usage(db, rng, scale, pnums, dates, towers, planted, params)
+    _fill_bills(db, rng, scale, pnums)
+    _fill_complaints(db, rng, scale, pnums, dates, planted, params)
+    _fill_devices(db, rng, scale, pnums)
+    return TLCDataset(database=db, params=params, scale=scale, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# static-ish dimension tables
+# --------------------------------------------------------------------------- #
+def _fill_region_info(db: Database) -> None:
+    table = db.table("region_info")
+    for i, region in enumerate(REGIONS):
+        table.insert(
+            (
+                region, "examplia", _REVENUE_BANDS[i % 4], 1000.0 + 173.0 * i,
+                40 + 7 * i, 82.0 + i, 35.0 + 3 * i, 0.2 + 0.03 * i,
+                31.5 + i, 0.015 + 0.001 * i, (i % 5) + 1, "2001-03-01",
+                f"{region}_city", 12 + i, 300 + 21 * i,
+                _REVENUE_BANDS[(i + 1) % 4], f"zone{i % 3}", 120 + 10 * i,
+                i % 2 == 0, 20 + i, 2.5 + 0.2 * i, f"region {region}",
+            )
+        )
+
+
+def _fill_service_plans(db: Database, pids: list[str]) -> None:
+    table = db.table("service_plan")
+    for i, pid in enumerate(pids):
+        table.insert(
+            (
+                pid, f"plan_{i:02d}", _TIERS[i % 4], 9.99 + 5.0 * (i % 8),
+                (i % 10) * 5, 100 * ((i % 6) + 1), 100 * ((i % 4) + 1),
+                i % 5 == 0, i % 4 == 0, (i % 4) + 1,
+                12 * ((i % 2) + 1), i % 6, 0.1 * (i % 3), "2015-01-01",
+                i % 9 == 8, _CHANNELS[i % 4], _SEGMENTS[i % 4],
+                0.5 + 0.01 * i, 0.2 + 0.01 * (i % 10), f"plan {pid}",
+            )
+        )
+
+
+def _fill_cell_towers(db: Database, rng: random.Random, towers: list[str]) -> None:
+    table = db.table("cell_tower")
+    for i, tower in enumerate(towers):
+        region = REGIONS[i % len(REGIONS)]
+        table.insert(
+            (
+                tower, region, f"{region}_city", 40.0 + rng.random() * 10,
+                -100.0 + rng.random() * 40, _NETWORKS[i % 4], "B1/B3/B7",
+                200 + (i % 7) * 50, "2012-06-01", "2016-01-15",
+                25.0 + (i % 10), 3.5 + (i % 5) * 0.2, "fiber", "vendorA",
+                3 + (i % 3), (i * 40) % 360, i % 8, "up",
+                2.0 + (i % 6) * 0.5, 30.0 + (i % 50), i % 3, "opco",
+                i % 4 == 0, f"tower {tower}",
+            )
+        )
+
+
+def _fill_customers(db: Database, rng: random.Random, pnums: list[str]) -> None:
+    table = db.table("customer")
+    for i, pnum in enumerate(pnums):
+        region = REGIONS[i % len(REGIONS)]
+        table.insert(
+            (
+                pnum, f"cust_{i:07d}", _SEGMENTS[i % 4], region,
+                _AGE_BANDS[i % 5],
+                "FMX"[i % 3], _STATUSES[0 if i % 11 else 1], "2014-03-01",
+                "mail.example", _CHANNELS[i % 4],
+                550 + (i % 300), _TIERS[i % 4], round(rng.random() * 0.4, 3),
+                1000.0 + (i % 50) * 37.0, 1 + (i % 10),
+                "en", f"{region}_city", f"Z{i % 90:02d}", i % 3 == 0,
+                i % 2 == 0,
+                i % 4 == 0, i % 5 == 0, 1 + (i % 4), 6 + (i % 60),
+                "2015-11-20",
+                f"D{i % 997:06d}", f"PLAN{i % 30:02d}", f"R{i % 500:04d}",
+                _TIERS[(i + 1) % 4], i % 7,
+                i % 5, f"customer {i}",
+            )
+        )
+
+
+def _fill_businesses(
+    db: Database,
+    rng: random.Random,
+    business_pnums: list[str],
+    planted: list[str],
+    params: TLCParams,
+) -> None:
+    table = db.table("business")
+    for i, pnum in enumerate(business_pnums):
+        if pnum in planted:
+            btype, region = params.t0, params.r0
+        else:
+            btype = BUSINESS_TYPES[rng.randrange(len(BUSINESS_TYPES))]
+            region = REGIONS[rng.randrange(len(REGIONS))]
+        table.insert(
+            (
+                pnum, btype, region, f"biz_{i:06d}", 1980 + (i % 35),
+                5 + (i % 500), _REVENUE_BANDS[i % 4], i % 9 == 0,
+                f"AM{i % 40:03d}", 500 + (i % 350),
+                "2015-01-01", "2017-12-31",
+                1 + (i % 12), f"IC{i % 88:03d}", f"TAX{i:07d}",
+                _SEGMENTS[1 + (i % 3)], round(rng.random() * 0.5, 3),
+                f"business {i}",
+            )
+        )
+
+
+def _fill_packages(
+    db: Database,
+    rng: random.Random,
+    pnums: list[str],
+    planted: list[str],
+    pids: list[str],
+    months: list[str],
+    month_ends: list[str],
+    params: TLCParams,
+) -> None:
+    table = db.table("package")
+    pkg_id = 0
+    for pnum in planted:
+        pkg_id += 1
+        table.insert(
+            (
+                pkg_id, pnum, params.c0, "2016-01-01", "2016-12-31",
+                params.year, 49.99, 20, 600, 400,
+                False, False, 0.0, True, "retail",
+                "active", "2016-01-01", False, params.r0, "planted package",
+            )
+        )
+    for i, pnum in enumerate(pnums):
+        # at most 3 random packages per (pnum, year); +1 planted stays << 12
+        for k in range(1 + (i + len(pnum)) % 3):
+            pkg_id += 1
+            slot = rng.randrange(len(months))
+            pid = pids[rng.randrange(len(pids))]
+            table.insert(
+                (
+                    pkg_id, pnum, pid, months[slot], month_ends[slot],
+                    params.year, 19.99 + 5.0 * k, 5 * (k + 1), 300, 200,
+                    k == 2, slot % 2 == 0, 0.05 * slot, True,
+                    _CHANNELS[slot % 4],
+                    "active", months[slot], False,
+                    REGIONS[i % len(REGIONS)], f"pkg {pkg_id}",
+                )
+            )
+
+
+# --------------------------------------------------------------------------- #
+# fact tables
+# --------------------------------------------------------------------------- #
+def _fill_calls(
+    db: Database,
+    rng: random.Random,
+    scale: int,
+    pnums: list[str],
+    recnum_pool: list[str],
+    dates: list[str],
+    towers: list[str],
+    planted: list[str],
+    params: TLCParams,
+) -> None:
+    table = db.table("call")
+    call_id = 0
+
+    def insert_call(pnum: str, recnum: str, date: str, region: str) -> None:
+        nonlocal call_id
+        call_id += 1
+        i = call_id
+        table.insert(
+            (
+                call_id, pnum, recnum, date, region,
+                f"{i % 24:02d}:{(i * 7) % 60:02d}", 30 + (i * 13) % 1800,
+                round(0.01 * ((i * 13) % 1800) / 60.0, 4),
+                _CALL_TYPES[i % 4], _DIRECTIONS[i % 2],
+                i % 29 == 0, i % 53 == 0, towers[i % len(towers)],
+                _NETWORKS[i % 4], "normal" if i % 17 else "busy",
+                True, f"PLAN{i % 30:02d}", 0.0 if i % 5 else 0.1,
+                i % 37 == 0, REGIONS[(i + 3) % len(REGIONS)],
+                100 + (i * 11) % 900, (i * 3) % 40, round((i % 50) / 1000.0, 4),
+                _CODECS[i % 4], i % 3,
+                3.0 + (i % 20) / 10.0, round((i % 100) / 500.0, 4),
+                False, _CHANNELS[i % 4], f"call {i}",
+            )
+        )
+
+    # planted: twelve calls on d0 for each planted business, two of them to x0
+    for pnum in planted:
+        for k in range(12):
+            recnum = params.x0 if k < 2 else recnum_pool[(k * 37) % len(recnum_pool)]
+            insert_call(pnum, recnum, params.d0, REGIONS[k % len(REGIONS)])
+
+    for _ in range(1500 * scale):
+        pnum = pnums[rng.randrange(len(pnums))]
+        recnum = recnum_pool[rng.randrange(len(recnum_pool))]
+        date = dates[rng.randrange(len(dates))]
+        region = REGIONS[rng.randrange(len(REGIONS))]
+        insert_call(pnum, recnum, date, region)
+
+
+def _fill_sms(
+    db: Database,
+    rng: random.Random,
+    scale: int,
+    pnums: list[str],
+    recnum_pool: list[str],
+    dates: list[str],
+    towers: list[str],
+    planted: list[str],
+    params: TLCParams,
+) -> None:
+    table = db.table("sms")
+    sms_id = 0
+
+    def insert_sms(pnum: str, recnum: str, date: str, region: str) -> None:
+        nonlocal sms_id
+        sms_id += 1
+        i = sms_id
+        table.insert(
+            (
+                sms_id, pnum, recnum, date, region,
+                f"{i % 24:02d}:{(i * 11) % 60:02d}", 20 + (i * 7) % 300,
+                0.05, _DIRECTIONS[i % 2], "GSM7" if i % 3 else "UCS2",
+                i % 6 == 0, 1 + (i % 3), _NETWORKS[i % 4],
+                towers[i % len(towers)], i % 19 != 0,
+                200 + (i * 17) % 3000, round((i % 100) / 400.0, 4), i % 41 == 0,
+                True, f"PLAN{i % 30:02d}",
+                _CHANNELS[i % 4], f"sms {i}",
+            )
+        )
+
+    for pnum in planted:
+        for k in range(3):
+            insert_sms(
+                pnum,
+                recnum_pool[(k * 53) % len(recnum_pool)],
+                params.d0,
+                REGIONS[k % len(REGIONS)],
+            )
+    for _ in range(500 * scale):
+        insert_sms(
+            pnums[rng.randrange(len(pnums))],
+            recnum_pool[rng.randrange(len(recnum_pool))],
+            dates[rng.randrange(len(dates))],
+            REGIONS[rng.randrange(len(REGIONS))],
+        )
+
+
+def _fill_data_usage(
+    db: Database,
+    rng: random.Random,
+    scale: int,
+    pnums: list[str],
+    dates: list[str],
+    towers: list[str],
+    planted: list[str],
+    params: TLCParams,
+) -> None:
+    table = db.table("data_usage")
+    usage_id = 0
+
+    def insert_usage(pnum: str, date: str, month: int, region: str) -> None:
+        nonlocal usage_id
+        usage_id += 1
+        i = usage_id
+        table.insert(
+            (
+                usage_id, pnum, date, month, region,
+                _APP_CATEGORIES[i % 6], round(5.0 + (i * 13) % 500 / 10.0, 3),
+                round((i * 7) % 120 / 10.0, 3),
+                1 + (i * 3) % 180, _NETWORKS[i % 4],
+                towers[i % len(towers)], i % 31 == 0, i % 23 == 0,
+                i % 2 == 0, round(0.02 * (i % 40), 4),
+                f"PLAN{i % 30:02d}", True, 1 + (i % 20),
+                round(5.0 + (i % 90) / 2.0, 2), round(20.0 + (i % 200) / 2.0, 2),
+                10 + (i * 7) % 90, "https" if i % 4 else "quic",
+                f"D{i % 997:06d}", f"usage {i}",
+            )
+        )
+
+    for pnum in planted:
+        for k in range(3):
+            insert_usage(pnum, params.d0, params.m0, REGIONS[k % len(REGIONS)])
+    for _ in range(400 * scale):
+        date = dates[rng.randrange(len(dates))]
+        insert_usage(
+            pnums[rng.randrange(len(pnums))],
+            date,
+            int(date[5:7]),
+            REGIONS[rng.randrange(len(REGIONS))],
+        )
+
+
+def _fill_bills(db: Database, rng: random.Random, scale: int, pnums: list[str]) -> None:
+    table = db.table("bill")
+    for i in range(100 * scale):
+        pnum = pnums[rng.randrange(len(pnums))]
+        amount = round(20.0 + (i * 13) % 900 / 10.0, 2)
+        table.insert(
+            (
+                i + 1, pnum, 1 + (i % 6), 2016, amount,
+                round(amount * 0.2, 2), round(amount * 0.05, 2),
+                round(amount * 0.4, 2), round(amount * 0.1, 2),
+                round(amount * 0.3, 2),
+                round(amount * 0.05, 2), round(amount * 0.05, 2),
+                0.0, 15.0, 8.0,
+                0.0, 0.0, round(amount * 1.2, 2), "2016-07-15", i % 7 != 0,
+                "2016-07-10", "card" if i % 3 else "bank", 0.0,
+                "issued", "USD", f"bill {i}",
+            )
+        )
+
+
+def _fill_complaints(
+    db: Database,
+    rng: random.Random,
+    scale: int,
+    pnums: list[str],
+    dates: list[str],
+    planted: list[str],
+    params: TLCParams,
+) -> None:
+    table = db.table("complaint")
+    complaint_id = 0
+
+    def insert_complaint(pnum: str, category: str, opened: str, region: str) -> None:
+        nonlocal complaint_id
+        complaint_id += 1
+        i = complaint_id
+        table.insert(
+            (
+                complaint_id, pnum, category, _STATUSES[i % 3], opened,
+                opened, 1 + (i % 4), _CHANNELS[i % 4],
+                f"AG{i % 60:03d}", region,
+                "mobile", "resolved" if i % 4 else "pending",
+                i % 9 == 0, i % 13 == 0, i % 5 != 0,
+                1 + (i % 48), 2 + (i % 96),
+                1 + (i % 10), 0.0 if i % 6 else 10.0,
+                _CATEGORIES[(i + 2) % 6],
+                i % 8 == 0, f"complaint {i}",
+            )
+        )
+
+    for pnum in planted:
+        insert_complaint(pnum, "billing", params.d0, params.r0)
+        insert_complaint(pnum, "coverage", params.d0, params.r0)
+    for _ in range(30 * scale):
+        insert_complaint(
+            pnums[rng.randrange(len(pnums))],
+            _CATEGORIES[rng.randrange(len(_CATEGORIES))],
+            dates[rng.randrange(len(dates))],
+            REGIONS[rng.randrange(len(REGIONS))],
+        )
+
+
+def _fill_devices(db: Database, rng: random.Random, scale: int, pnums: list[str]) -> None:
+    table = db.table("device")
+    for i in range(50 * scale):
+        pnum = pnums[rng.randrange(len(pnums))]
+        table.insert(
+            (
+                f"D{i:06d}", pnum, f"brand{i % 7}", f"model{i % 40}",
+                "android" if i % 3 else "ios",
+                f"{10 + i % 5}.{i % 10}", 64 * (1 + i % 4), 4 + (i % 3) * 2,
+                "2015-09-01", 199.0 + (i % 10) * 80.0,
+                i % 2 == 0, i % 5 == 0, f"35{i % 1000:03d}", "B1/B3/B20",
+                i % 4 == 0,
+                i % 6 == 0, i % 3 == 0, 5.5 + (i % 4) * 0.3,
+                3000 + (i % 8) * 250, ("black", "white", "blue")[i % 3],
+                "new" if i % 5 else "refurb", "2017-09-01",
+                50.0 + (i % 10) * 15.0, i % 2 == 0, f"device {i}",
+            )
+        )

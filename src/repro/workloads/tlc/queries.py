@@ -1,0 +1,168 @@
+"""The 11 built-in TLC queries.
+
+The benchmark "has 11 built-in queries, simulating industrial data
+analytical jobs in real-life mobile communication scenarios". Q1 is the
+paper's Example 2 verbatim. Ten of the eleven are boundedly evaluable
+under ``A0`` ("more than 90% of their queries"); Q11 joins a relation
+without access constraints and exercises the partially-bounded path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.tlc.generator import TLCParams
+
+
+@dataclass(frozen=True)
+class TLCQuery:
+    """One built-in query with its expected checker outcome."""
+
+    name: str
+    description: str
+    sql: str
+    covered: bool  # expected BE Checker decision under A0
+    constraints: tuple[str, ...]  # access constraints a bounded plan uses
+
+
+def tlc_queries(params: TLCParams) -> list[TLCQuery]:
+    """Instantiate the 11 queries with the dataset's constants."""
+    p = params
+    return [
+        TLCQuery(
+            name="Q1",
+            description=(
+                "regions reached by business numbers of a given type/region/"
+                "package on a date (the paper's Example 2)"
+            ),
+            sql=f"""
+                select call.region
+                from call, package, business
+                where business.type = '{p.t0}' and business.region = '{p.r0}'
+                  and business.pnum = call.pnum and call.date = '{p.d0}'
+                  and call.pnum = package.pnum and package.year = {p.year}
+                  and package.start <= '{p.d0}' and package.end >= '{p.d0}'
+                  and package.pid = '{p.c0}'
+            """,
+            covered=True,
+            constraints=("psi3", "psi2", "psi1"),
+        ),
+        TLCQuery(
+            name="Q2",
+            description="who did a number call on a date, and where",
+            sql=f"""
+                select distinct recnum, region from call
+                where pnum = '{p.p0}' and date = '{p.d0}'
+            """,
+            covered=True,
+            constraints=("psi1",),
+        ),
+        TLCQuery(
+            name="Q3",
+            description="service packages of a number in a year",
+            sql=f"""
+                select distinct pid, start, end from package
+                where pnum = '{p.p0}' and year = {p.year}
+            """,
+            covered=True,
+            constraints=("psi2",),
+        ),
+        TLCQuery(
+            name="Q4",
+            description="businesses of a type in a region",
+            sql=f"""
+                select distinct pnum from business
+                where type = '{p.t0}' and region = '{p.r0}'
+            """,
+            covered=True,
+            constraints=("psi3",),
+        ),
+        TLCQuery(
+            name="Q5",
+            description="who called a given number on a date (reverse CDR)",
+            sql=f"""
+                select distinct pnum, region from call
+                where recnum = '{p.x0}' and date = '{p.d0}'
+            """,
+            covered=True,
+            constraints=("psi5",),
+        ),
+        TLCQuery(
+            name="Q6",
+            description="distinct callees of a number on a date",
+            sql=f"""
+                select count(distinct recnum) as callees from call
+                where pnum = '{p.p0}' and date = '{p.d0}'
+            """,
+            covered=True,
+            constraints=("psi1",),
+        ),
+        TLCQuery(
+            name="Q7",
+            description="call volume per region for a number on a date",
+            sql=f"""
+                select region, count(*) as calls from call
+                where pnum = '{p.p0}' and date = '{p.d0}'
+                group by region order by calls desc
+            """,
+            covered=True,
+            constraints=("psi6",),
+        ),
+        TLCQuery(
+            name="Q8",
+            description="customer segments subscribed to a package in a year",
+            sql=f"""
+                select distinct cu.segment
+                from customer cu, package pk
+                where pk.pid = '{p.c0}' and pk.year = {p.year}
+                  and pk.pnum = cu.pnum
+            """,
+            covered=True,
+            constraints=("psi7", "psi8"),
+        ),
+        TLCQuery(
+            name="Q9",
+            description="SMS reach of a number on a date",
+            sql=f"""
+                select distinct recnum, region from sms
+                where pnum = '{p.p0}' and date = '{p.d0}'
+            """,
+            covered=True,
+            constraints=("psi9",),
+        ),
+        TLCQuery(
+            name="Q10",
+            description="complaint categories filed by businesses of a type/region",
+            sql=f"""
+                select distinct co.category
+                from complaint co, business b
+                where b.type = '{p.t0}' and b.region = '{p.r0}'
+                  and co.pnum = b.pnum
+            """,
+            covered=True,
+            constraints=("psi3", "psi10"),
+        ),
+        TLCQuery(
+            name="Q11",
+            description=(
+                "app categories used by businesses of a type/region in a "
+                "month (data_usage carries no access constraints: not "
+                "covered, exercises the partially bounded path)"
+            ),
+            sql=f"""
+                select distinct d.app_category
+                from data_usage d, business b
+                where b.type = '{p.t0}' and b.region = '{p.r0}'
+                  and d.pnum = b.pnum and d.month = {p.m0}
+            """,
+            covered=False,
+            constraints=(),
+        ),
+    ]
+
+
+def query_by_name(params: TLCParams, name: str) -> TLCQuery:
+    for query in tlc_queries(params):
+        if query.name == name:
+            return query
+    raise KeyError(name)

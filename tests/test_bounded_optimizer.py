@@ -1,0 +1,185 @@
+"""BE Plan Optimizer tests: partially bounded plans."""
+
+import pytest
+
+from repro import (
+    AccessConstraint,
+    AccessSchema,
+    ASCatalog,
+    BEPlanOptimizer,
+    ConventionalEngine,
+    Database,
+    DatabaseSchema,
+    DataType,
+    TableSchema,
+)
+
+
+def schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            TableSchema(
+                "big",
+                [
+                    ("k", DataType.STRING),
+                    ("grp", DataType.STRING),
+                    ("val", DataType.INT),
+                ],
+            ),
+            TableSchema(
+                "dim",
+                [
+                    ("k", DataType.STRING),
+                    ("kind", DataType.STRING),
+                    ("zone", DataType.STRING),
+                ],
+                keys=[("k",)],
+            ),
+        ]
+    )
+
+
+def build() -> tuple[Database, AccessSchema]:
+    db = Database(schema())
+    # dim: 26 rows, 2 kinds, 2 zones
+    for i in range(26):
+        db.insert(
+            "dim",
+            (f"k{i}", "red" if i % 2 else "blue", "n" if i < 13 else "s"),
+        )
+    # big: 2000 rows spread over dim keys; NO constraints on big
+    for i in range(2000):
+        db.insert("big", (f"k{i % 26}", f"g{i % 5}", i % 100))
+    access = AccessSchema(
+        [
+            AccessConstraint("dim", ["kind", "zone"], ["k"], 100, name="dim_kz"),
+            AccessConstraint("dim", ["k"], ["kind", "zone"], 1, name="dim_k"),
+        ]
+    )
+    return db, access
+
+
+SQL = """
+    SELECT DISTINCT b.grp FROM big b, dim d
+    WHERE d.kind = 'red' AND d.zone = 'n' AND b.k = d.k
+"""
+
+
+class TestAnalyze:
+    def test_partial_plan_found(self):
+        db, access = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, access))
+        partial = optimizer.analyze(SQL)
+        assert partial is not None
+        assert partial.covered_bindings == ["d"]
+        assert partial.uncovered_bindings == ["b"]
+        assert partial.sub_plan.access_bound == 100
+
+    def test_describe(self):
+        db, access = build()
+        partial = BEPlanOptimizer(ASCatalog(db, access)).analyze(SQL)
+        text = partial.describe()
+        assert "bounded prefix" in text and "d" in text
+
+    def test_no_constraints_no_partial(self):
+        db, _ = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, AccessSchema()))
+        assert optimizer.analyze(SQL) is None
+
+    def test_unparseable_query_gives_none(self):
+        db, access = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, access))
+        assert optimizer.analyze("SELEKT nonsense") is None
+
+    def test_duplicate_sensitive_aggregate_without_keys_refused(self):
+        """COUNT(*) over a splice whose prefix is not bag-exact is unsound:
+        the optimizer must fall back."""
+        db, access = build()
+        access.remove("dim_k")  # dim covered only via dim_kz (exposes key k!)
+        # dim_kz exposes k which IS the key of dim => still bag-exact;
+        # remove the key declaration to force non-exactness
+        db2 = Database(
+            DatabaseSchema(
+                [
+                    schema().table("big"),
+                    TableSchema(
+                        "dim",
+                        [
+                            ("k", DataType.STRING),
+                            ("kind", DataType.STRING),
+                            ("zone", DataType.STRING),
+                        ],
+                    ),
+                ]
+            )
+        )
+        for table in db:
+            for row in table.rows:
+                db2.table(table.schema.name).insert(row)
+        optimizer = BEPlanOptimizer(ASCatalog(db2, access))
+        partial = optimizer.analyze(
+            "SELECT COUNT(*) FROM big b, dim d "
+            "WHERE d.kind = 'red' AND d.zone = 'n' AND b.k = d.k"
+        )
+        assert partial is None
+
+
+class TestExecute:
+    def test_answers_match_conventional(self):
+        db, access = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, access))
+        partial = optimizer.analyze(SQL)
+        result = optimizer.execute(partial)
+        host = ConventionalEngine(db).execute(SQL)
+        assert sorted(result.rows) == sorted(host.rows)
+
+    def test_partial_scans_less_than_conventional(self):
+        db, access = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, access))
+        partial = optimizer.analyze(SQL)
+        result = optimizer.execute(partial)
+        host = ConventionalEngine(db).execute(SQL)
+        # the bounded prefix replaces the dim scan with index fetches
+        assert result.metrics.tuples_scanned < host.metrics.tuples_scanned
+        assert result.metrics.tuples_fetched > 0
+
+    def test_aggregate_with_bag_exact_prefix(self):
+        db, access = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, access))
+        sql = """
+            SELECT b.grp, COUNT(*) AS n FROM big b, dim d
+            WHERE d.kind = 'red' AND d.zone = 'n' AND b.k = d.k
+            GROUP BY b.grp ORDER BY b.grp
+        """
+        partial = optimizer.analyze(sql)
+        assert partial is not None and partial.sub_plan_bag_exact
+        result = optimizer.execute(partial)
+        host = ConventionalEngine(db).execute(sql)
+        assert result.rows == host.rows
+
+    def test_filters_crossing_the_split_survive(self):
+        db, access = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, access))
+        sql = """
+            SELECT DISTINCT b.grp FROM big b, dim d
+            WHERE d.kind = 'red' AND d.zone = 'n' AND b.k = d.k AND b.val > 50
+        """
+        partial = optimizer.analyze(sql)
+        result = optimizer.execute(partial)
+        host = ConventionalEngine(db).execute(sql)
+        assert sorted(result.rows) == sorted(host.rows)
+
+    def test_constants_inherited_through_equality(self):
+        """A selection on the uncovered side that binds a covered attribute
+        through an equality class must reach the bounded prefix."""
+        db, access = build()
+        optimizer = BEPlanOptimizer(ASCatalog(db, access))
+        sql = """
+            SELECT DISTINCT b.grp FROM big b, dim d
+            WHERE d.kind = 'red' AND d.zone = 'n' AND b.k = d.k
+              AND b.k = 'k1'
+        """
+        partial = optimizer.analyze(sql)
+        result = optimizer.execute(partial)
+        host = ConventionalEngine(db).execute(sql)
+        assert sorted(result.rows) == sorted(host.rows)

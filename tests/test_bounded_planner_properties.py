@@ -1,0 +1,157 @@
+"""Planner-level properties: determinism, chain scalability, and
+budget/approximation coherence under random data."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AccessConstraint,
+    AccessSchema,
+    ASCatalog,
+    BoundedApproximator,
+    BoundedEvaluabilityChecker,
+    BoundedPlanExecutor,
+    Database,
+    DatabaseSchema,
+    DataType,
+    TableSchema,
+)
+from repro.bounded.planner import BoundedPlanGenerator
+from repro.sql.normalize import normalize
+from repro.sql.parser import parse
+
+from tests.conftest import EXAMPLE2_SQL, example1_access_schema, example1_schema
+
+
+class TestDeterminism:
+    def test_same_query_same_plan(self):
+        generator = BoundedPlanGenerator(
+            example1_schema(), example1_access_schema()
+        )
+        cq = normalize(parse(EXAMPLE2_SQL), example1_schema())
+        first = generator.generate(cq)
+        second = generator.generate(cq)
+        assert [op.describe() for op in first.ops] == [
+            op.describe() for op in second.ops
+        ]
+        assert first.access_bound == second.access_bound
+
+    def test_constraint_registration_order_irrelevant(self):
+        """Shuffling the access schema's constraint order must not change
+        the chosen plan's bound (greedy ties break on bound, not on
+        registration order that happens to differ)."""
+        base = list(example1_access_schema())
+        forward = AccessSchema(base, name="fwd")
+        backward = AccessSchema(list(reversed(base)), name="bwd")
+        cq = normalize(parse(EXAMPLE2_SQL), example1_schema())
+        plan_fwd = BoundedPlanGenerator(example1_schema(), forward).generate(cq)
+        plan_bwd = BoundedPlanGenerator(example1_schema(), backward).generate(cq)
+        assert plan_fwd.access_bound == plan_bwd.access_bound
+
+
+class TestChainScalability:
+    def test_long_join_chain_plans_quickly(self):
+        """A 10-relation chain: the checker must stay effectively
+        polynomial (the Feasibility Theorem's PTIME promise)."""
+        length = 10
+        tables = []
+        constraints = []
+        for i in range(length):
+            tables.append(
+                TableSchema(
+                    f"t{i}",
+                    [("a", DataType.INT), ("b", DataType.INT)],
+                )
+            )
+            constraints.append(
+                AccessConstraint(f"t{i}", ["a"], ["b"], 3, name=f"c{i}")
+            )
+        schema = DatabaseSchema(tables)
+        access = AccessSchema(constraints)
+        joins = " AND ".join(
+            f"t{i}.b = t{i + 1}.a" for i in range(length - 1)
+        )
+        sql = (
+            f"SELECT t{length - 1}.b FROM "
+            + ", ".join(f"t{i}" for i in range(length))
+            + f" WHERE t0.a = 1 AND {joins}"
+        )
+        checker = BoundedEvaluabilityChecker(schema, access)
+        decision = checker.check(sql)
+        assert decision.covered
+        assert len(decision.plan.fetch_ops) == length
+        # bound: 3^1 + 3^2 + ... + 3^length
+        assert decision.access_bound == sum(3 ** i for i in range(1, length + 1))
+
+    def test_chain_executes_correctly(self):
+        length = 6
+        tables = []
+        constraints = []
+        for i in range(length):
+            tables.append(
+                TableSchema(f"t{i}", [("a", DataType.INT), ("b", DataType.INT)])
+            )
+            constraints.append(
+                AccessConstraint(f"t{i}", ["a"], ["b"], 3, name=f"c{i}")
+            )
+        schema = DatabaseSchema(tables)
+        db = Database(schema)
+        for i in range(length):
+            for a in range(5):
+                db.insert(f"t{i}", (a, (a + 1) % 5))
+        access = AccessSchema(constraints)
+        joins = " AND ".join(f"t{i}.b = t{i + 1}.a" for i in range(length - 1))
+        sql = (
+            f"SELECT DISTINCT t{length - 1}.b FROM "
+            + ", ".join(f"t{i}" for i in range(length))
+            + f" WHERE t0.a = 1 AND {joins}"
+        )
+        checker = BoundedEvaluabilityChecker(schema, access)
+        decision = checker.check(sql)
+        result = BoundedPlanExecutor(ASCatalog(db, access)).execute(decision.plan)
+        from repro import ConventionalEngine
+
+        host = ConventionalEngine(db).execute(sql)
+        assert set(result.rows) == set(host.rows)
+
+
+class TestApproximationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["k1", "k2", "k3"]),
+                st.sampled_from(["u", "v", "w", "x"]),
+            ),
+            max_size=20,
+        ),
+        budget=st.integers(0, 25),
+    )
+    def test_soundness_and_recall_under_random_data(self, rows, budget):
+        schema = DatabaseSchema(
+            [TableSchema("r", [("k", DataType.STRING), ("v", DataType.STRING)])]
+        )
+        db = Database(schema)
+        for row in rows:
+            db.insert("r", row)
+        access = AccessSchema(
+            [AccessConstraint("r", ["k"], ["v"], 10, name="by_k")]
+        )
+        sql = "SELECT DISTINCT v FROM r WHERE k IN ('k1', 'k2', 'k3')"
+        checker = BoundedEvaluabilityChecker(db.schema, access)
+        decision = checker.check(sql)
+        assert decision.covered
+
+        from repro import ConventionalEngine
+
+        exact = set(ConventionalEngine(db).execute(sql).rows)
+        result = BoundedApproximator(ASCatalog(db, access)).execute(
+            decision.plan, budget=budget
+        )
+        found = set(result.rows)
+        assert found <= exact
+        assert result.tuples_fetched <= budget
+        true_recall = len(found) / len(exact) if exact else 1.0
+        assert true_recall >= result.recall_lower_bound - 1e-12
+        if result.complete:
+            assert found == exact

@@ -1,0 +1,112 @@
+"""Unit tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog.schema import AttributeRef, Column, DatabaseSchema, TableSchema, validate_attributes
+from repro.catalog.types import DataType
+from repro.errors import CatalogError, UnknownColumnError, UnknownTableError
+
+
+def make_table() -> TableSchema:
+    return TableSchema(
+        "t",
+        [("a", DataType.INT), ("b", DataType.STRING), ("c", DataType.FLOAT)],
+        keys=[("a",)],
+    )
+
+
+class TestTableSchema:
+    def test_column_names_ordered(self):
+        assert make_table().column_names == ("a", "b", "c")
+
+    def test_arity(self):
+        assert make_table().arity == 3
+
+    def test_position_lookup(self):
+        table = make_table()
+        assert table.position("b") == 1
+
+    def test_positions_many(self):
+        assert make_table().positions(["c", "a"]) == (2, 0)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            make_table().position("z")
+
+    def test_contains(self):
+        table = make_table()
+        assert "a" in table
+        assert "z" not in table
+
+    def test_dtype(self):
+        assert make_table().dtype("c") is DataType.FLOAT
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [("a", DataType.INT), ("a", DataType.INT)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("", [("a", DataType.INT)])
+
+    def test_key_with_unknown_column_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", [("a", DataType.INT)], keys=[("z",)])
+
+    def test_has_key_within(self):
+        table = make_table()
+        assert table.has_key_within({"a", "b"})
+        assert not table.has_key_within({"b", "c"})
+
+    def test_composite_key(self):
+        table = TableSchema(
+            "t", [("a", DataType.INT), ("b", DataType.INT)], keys=[("a", "b")]
+        )
+        assert table.has_key_within({"a", "b"})
+        assert not table.has_key_within({"a"})
+
+    def test_equality_by_value(self):
+        assert make_table() == make_table()
+
+    def test_invalid_column_name(self):
+        with pytest.raises(CatalogError):
+            Column("bad name", DataType.INT)
+
+
+class TestDatabaseSchema:
+    def test_lookup(self):
+        schema = DatabaseSchema([make_table()])
+        assert schema.table("t").name == "t"
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            DatabaseSchema().table("missing")
+
+    def test_duplicate_table_rejected(self):
+        schema = DatabaseSchema([make_table()])
+        with pytest.raises(CatalogError):
+            schema.add_table(make_table())
+
+    def test_contains_and_len(self):
+        schema = DatabaseSchema([make_table()])
+        assert "t" in schema
+        assert len(schema) == 1
+
+    def test_total_attributes(self):
+        schema = DatabaseSchema(
+            [make_table(), TableSchema("u", [("x", DataType.INT)])]
+        )
+        assert schema.total_attributes() == 4
+
+    def test_validate_attributes_ok(self):
+        schema = DatabaseSchema([make_table()])
+        validate_attributes(schema, [AttributeRef("t", "a")])
+
+    def test_validate_attributes_bad_column(self):
+        schema = DatabaseSchema([make_table()])
+        with pytest.raises(UnknownColumnError):
+            validate_attributes(schema, [AttributeRef("t", "zz")])

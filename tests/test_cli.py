@@ -1,0 +1,187 @@
+"""CLI tests (invoking repro.cli.main directly, capturing output)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.access.io import dump_schema
+from repro.storage.csvio import dump_csv
+
+from tests.conftest import example1_access_schema, example1_database
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A data directory (CSV dumps of Example 1) plus the A0 schema JSON."""
+    data = tmp_path / "data"
+    data.mkdir()
+    db = example1_database()
+    for table in db:
+        dump_csv(table, data / f"{table.schema.name}.csv")
+    schema_path = tmp_path / "schema.json"
+    dump_schema(example1_access_schema(), schema_path)
+    return data, schema_path
+
+
+QUERY = (
+    "SELECT DISTINCT recnum FROM call "
+    "WHERE pnum = '100' AND date = '2016-06-01'"
+)
+
+
+class TestCheck:
+    def test_covered_query_exits_zero(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            ["check", "--data", str(data), "--schema", str(schema), "--sql", QUERY]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "covered" in out and "500" in out
+
+    def test_uncovered_query_exits_one(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "check", "--data", str(data), "--schema", str(schema),
+                "--sql", "SELECT recnum FROM call",
+            ]
+        )
+        assert code == 1
+        assert "NOT covered" in capsys.readouterr().out
+
+    def test_budget_reported(self, workspace, capsys):
+        data, schema = workspace
+        main(
+            [
+                "check", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--budget", "1000",
+            ]
+        )
+        assert "within budget: True" in capsys.readouterr().out
+
+
+class TestExplainAndRun:
+    def test_explain_shows_fetch(self, workspace, capsys):
+        data, schema = workspace
+        assert main(
+            ["explain", "--data", str(data), "--schema", str(schema), "--sql", QUERY]
+        ) == 0
+        assert "fetch[psi1]" in capsys.readouterr().out
+
+    def test_run_prints_rows(self, workspace, capsys):
+        data, schema = workspace
+        assert main(
+            ["run", "--data", str(data), "--schema", str(schema), "--sql", QUERY]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "recnum" in captured.out.splitlines()[0]
+        assert "555" in captured.out
+        assert "bounded" in captured.err
+
+    def test_run_limit(self, workspace, capsys):
+        data, schema = workspace
+        main(
+            [
+                "run", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--limit", "1",
+            ]
+        )
+        assert "more rows" in capsys.readouterr().out
+
+    def test_query_from_file(self, workspace, tmp_path, capsys):
+        data, schema = workspace
+        query_file = tmp_path / "q.sql"
+        query_file.write_text(QUERY)
+        assert main(
+            [
+                "run", "--data", str(data), "--schema", str(schema),
+                "--file", str(query_file),
+            ]
+        ) == 0
+
+    def test_missing_query_is_an_error(self, workspace, capsys):
+        data, schema = workspace
+        assert main(
+            ["run", "--data", str(data), "--schema", str(schema)]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiscoverAndConform:
+    def test_conform_ok(self, workspace, capsys):
+        data, schema = workspace
+        assert main(["conform", "--data", str(data), "--schema", str(schema)]) == 0
+        assert "conforms" in capsys.readouterr().out
+
+    def test_conform_violation(self, workspace, tmp_path, capsys):
+        data, _ = workspace
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "constraints": [
+                        {
+                            "name": "too_tight", "relation": "call",
+                            "x": ["pnum"], "y": ["recnum"], "n": 1,
+                        }
+                    ]
+                }
+            )
+        )
+        assert main(["conform", "--data", str(data), "--schema", str(bad)]) == 1
+        assert "violations" in capsys.readouterr().out
+
+    def test_discover_writes_schema(self, workspace, tmp_path, capsys):
+        data, _ = workspace
+        workload = tmp_path / "workload.sql"
+        workload.write_text(QUERY + ";\nSELECT DISTINCT pid FROM package WHERE pnum = '100' AND year = 2016")
+        output = tmp_path / "discovered.json"
+        code = main(
+            [
+                "discover", "--data", str(data), "--workload", str(workload),
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        document = json.loads(output.read_text())
+        assert document["constraints"]
+        assert "covering 2 queries" in capsys.readouterr().out
+
+    def test_missing_data_dir(self, tmp_path, capsys):
+        assert main(
+            [
+                "conform", "--data", str(tmp_path / "nope"),
+                "--schema", str(tmp_path / "nope.json"),
+            ]
+        ) == 2
+
+
+class TestSqlScriptLoading:
+    def test_database_from_sql_script(self, tmp_path, capsys):
+        data = tmp_path / "data"
+        data.mkdir()
+        (data / "schema.sql").write_text(
+            "CREATE TABLE t (k STRING, v STRING);"
+            "INSERT INTO t VALUES ('a', 'x'), ('a', 'y')"
+        )
+        schema = tmp_path / "schema.json"
+        schema.write_text(
+            json.dumps(
+                {
+                    "constraints": [
+                        {"name": "c", "relation": "t", "x": ["k"],
+                         "y": ["v"], "n": 10}
+                    ]
+                }
+            )
+        )
+        code = main(
+            [
+                "run", "--data", str(data), "--schema", str(schema),
+                "--sql", "SELECT DISTINCT v FROM t WHERE k = 'a'",
+            ]
+        )
+        assert code == 0
+        assert "x" in capsys.readouterr().out

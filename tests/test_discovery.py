@@ -1,0 +1,175 @@
+"""Access schema discovery tests: mining, profiling, selection."""
+
+import pytest
+
+from repro import BoundedEvaluabilityChecker
+from repro.discovery import (
+    DiscoveryObjective,
+    discover,
+    mine_candidates,
+    profile_candidate,
+    profile_candidates,
+    select_constraints,
+)
+
+from tests.conftest import EXAMPLE2_SQL, example1_database, example1_schema
+
+
+WORKLOAD = [
+    EXAMPLE2_SQL,
+    "SELECT DISTINCT recnum, region FROM call WHERE pnum = '100' AND date = '2016-06-01'",
+    "SELECT DISTINCT pid FROM package WHERE pnum = '100' AND year = 2016",
+    "SELECT DISTINCT pnum FROM business WHERE type = 'bank' AND region = 'east'",
+]
+
+
+class TestMining:
+    def test_candidates_found_for_all_relations(self):
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        relations = {c.relation for c in candidates}
+        assert relations == {"call", "package", "business"}
+
+    def test_example1_shapes_present(self):
+        """The mined candidates include the paper's psi1/psi2/psi3 shapes."""
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        shapes = {(c.relation, c.x) for c in candidates}
+        assert ("call", ("date", "pnum")) in shapes
+        assert ("package", ("pnum", "year")) in shapes
+        assert ("business", ("region", "type")) in shapes
+
+    def test_provenance_merged(self):
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        call_candidates = [c for c in candidates if c.relation == "call"]
+        # the (pnum, date) shape is supported by Q1 and the direct CDR query
+        best = max(call_candidates, key=lambda c: len(c.supporting_queries))
+        assert len(best.supporting_queries) >= 2
+
+    def test_unparseable_queries_skipped(self):
+        candidates = mine_candidates(
+            ["SELEKT broken", WORKLOAD[1]], example1_schema()
+        )
+        assert candidates  # the good query still yields candidates
+
+    def test_sorted_most_supported_first(self):
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        supports = [len(c.supporting_queries) for c in candidates]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestProfiling:
+    def test_bound_is_tightest(self):
+        db = example1_database()
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        target = next(
+            c for c in candidates if c.relation == "call" and c.x == ("date", "pnum")
+        )
+        profiled = profile_candidate(db, target)
+        # pnum 100 on 2016-06-01 has calls 1, 2, 7 -> outputs {recnum,region}:
+        # {(555,north),(556,south)} = 2 distinct
+        assert profiled.observed_max == 2
+        assert profiled.n == 2
+
+    def test_slack_inflates_bound(self):
+        db = example1_database()
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        target = next(c for c in candidates if c.relation == "call")
+        plain = profile_candidate(db, target, slack=1.0)
+        slacked = profile_candidate(db, target, slack=2.0)
+        assert slacked.n == 2 * plain.observed_max
+
+    def test_max_n_filters_loose_candidates(self):
+        db = example1_database()
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        assert profile_candidates(db, candidates, max_n=0) == []
+
+    def test_storage_cells_accounting(self):
+        db = example1_database()
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        target = next(
+            c for c in candidates if c.relation == "business"
+        )
+        profiled = profile_candidate(db, target)
+        assert profiled.storage_cells == (
+            profiled.key_count * len(target.x)
+            + profiled.entry_count * len(target.y)
+        )
+
+    def test_to_constraint(self):
+        db = example1_database()
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        profiled = profile_candidate(db, candidates[0])
+        constraint = profiled.to_constraint(name="d0")
+        assert constraint.name == "d0" and constraint.n == profiled.n
+
+
+class TestSelection:
+    def test_discovery_covers_whole_workload(self):
+        db = example1_database()
+        result = discover(db, WORKLOAD)
+        assert result.covered_queries == {0, 1, 2, 3}
+        # and the discovered schema really covers them, per the checker
+        checker = BoundedEvaluabilityChecker(db.schema, result.schema)
+        for sql in WORKLOAD:
+            assert checker.check(sql).covered
+
+    def test_storage_budget_respected(self):
+        db = example1_database()
+        unbounded = discover(db, WORKLOAD)
+        budget = unbounded.storage_used // 2
+        constrained = discover(db, WORKLOAD, storage_budget=budget)
+        assert constrained.storage_used <= budget
+        assert len(constrained.covered_queries) <= len(unbounded.covered_queries)
+
+    def test_zero_budget_selects_nothing(self):
+        db = example1_database()
+        result = discover(db, WORKLOAD, storage_budget=0)
+        assert not result.selected and not result.covered_queries
+
+    def test_weights_prioritise_queries(self):
+        """With a tiny budget, the heavily weighted query wins."""
+        db = example1_database()
+        candidates = mine_candidates(WORKLOAD, example1_schema())
+        profiled = profile_candidates(db, candidates)
+        # find per-query cheapest coverage cost to build a discriminating budget
+        q1_only = select_constraints(
+            db, profiled, WORKLOAD,
+            weights=[0, 0, 1, 0], storage_budget=None,
+        )
+        budget = q1_only.storage_used
+        heavy_package = select_constraints(
+            db, profiled, WORKLOAD,
+            weights=[1, 1, 100, 1], storage_budget=budget,
+            objective=DiscoveryObjective.COVERAGE,
+        )
+        assert 2 in heavy_package.covered_queries
+
+    def test_coverage_per_storage_objective(self):
+        db = example1_database()
+        result = discover(
+            db, WORKLOAD, objective=DiscoveryObjective.COVERAGE_PER_STORAGE
+        )
+        assert result.covered_queries == {0, 1, 2, 3}
+
+    def test_min_bound_objective_prefers_tight_bounds(self):
+        db = example1_database()
+        plain = discover(db, WORKLOAD, objective=DiscoveryObjective.COVERAGE)
+        tight = discover(db, WORKLOAD, objective=DiscoveryObjective.MIN_BOUND)
+        assert tight.covered_queries == plain.covered_queries
+        assert tight.total_access_bound <= plain.total_access_bound
+
+    def test_weights_length_validated(self):
+        db = example1_database()
+        with pytest.raises(ValueError):
+            discover(db, WORKLOAD, weights=[1.0])
+
+    def test_describe(self):
+        db = example1_database()
+        text = discover(db, WORKLOAD).describe()
+        assert "constraints" in text and "covering" in text
+
+    def test_discovered_schema_conforms_to_data(self):
+        from repro.access.conformance import check_database
+
+        db = example1_database()
+        result = discover(db, WORKLOAD)
+        assert check_database(db, result.schema).conforms

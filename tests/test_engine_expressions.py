@@ -1,0 +1,175 @@
+"""Unit tests for expression compilation (three-valued logic, LIKE, arithmetic)."""
+
+import pytest
+
+from repro.engine.expressions import compile_expression, compile_predicate, like_to_regex
+from repro.errors import ExecutionError
+from repro.sql.normalize import Attribute
+from repro.sql.parser import parse_expression
+
+
+LAYOUT = {
+    Attribute("t", "a"): 0,
+    Attribute("t", "b"): 1,
+    Attribute("t", "s"): 2,
+    "alias_col": 3,
+}
+
+
+def evaluate(sql: str, row: tuple):
+    """Compile an expression over layout t.a, t.b, t.s, alias_col."""
+    expr = parse_expression(sql)
+    return compile_expression(expr, LAYOUT)(row)
+
+
+class TestColumnAccess:
+    def test_qualified_lookup(self):
+        assert evaluate("t.a", (5, None, "x", 0)) == 5
+
+    def test_unqualified_uses_string_label(self):
+        assert evaluate("alias_col", (0, 0, "", 9)) == 9
+
+    def test_missing_column_raises_at_compile_time(self):
+        with pytest.raises(ExecutionError):
+            compile_expression(parse_expression("t.zzz"), LAYOUT)
+
+
+class TestArithmetic:
+    def test_add_mul(self):
+        assert evaluate("t.a + t.b * 2", (1, 3, "", 0)) == 7
+
+    def test_integer_division_truncates(self):
+        assert evaluate("7 / 2", ()) == 3
+
+    def test_float_division(self):
+        assert evaluate("7.0 / 2", ()) == 3.5
+
+    def test_negative_integer_division_truncates_towards_zero(self):
+        assert evaluate("-7 / 2", ()) == -3
+
+    def test_modulo(self):
+        assert evaluate("7 % 3", ()) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate("1 / 0", ())
+
+    def test_null_propagates(self):
+        assert evaluate("t.a + 1", (None, 0, "", 0)) is None
+
+    def test_concat(self):
+        assert evaluate("t.s || 'y'", (0, 0, "x", 0)) == "xy"
+
+    def test_concat_null(self):
+        assert evaluate("t.s || 'y'", (0, 0, None, 0)) is None
+
+    def test_unary_minus(self):
+        assert evaluate("-t.a", (4, 0, "", 0)) == -4
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert evaluate("t.a < t.b", (1, 2, "", 0)) is True
+        assert evaluate("t.a >= t.b", (1, 2, "", 0)) is False
+
+    def test_null_comparison_is_unknown(self):
+        assert evaluate("t.a = 1", (None, 0, "", 0)) is None
+
+    def test_null_equals_null_is_unknown(self):
+        assert evaluate("NULL = NULL", ()) is None
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExecutionError):
+            evaluate("t.a < t.s", (1, 0, "x", 0))
+
+
+class TestBooleanLogic:
+    def test_kleene_and(self):
+        assert evaluate("TRUE AND NULL", ()) is None
+        assert evaluate("FALSE AND NULL", ()) is False
+        assert evaluate("TRUE AND TRUE", ()) is True
+
+    def test_kleene_or(self):
+        assert evaluate("TRUE OR NULL", ()) is True
+        assert evaluate("FALSE OR NULL", ()) is None
+        assert evaluate("FALSE OR FALSE", ()) is False
+
+    def test_not_unknown(self):
+        assert evaluate("NOT (NULL = 1)", ()) is None
+
+    def test_predicate_collapses_unknown_to_false(self):
+        predicate = compile_predicate(parse_expression("t.a = 1"), LAYOUT)
+        assert predicate((None, 0, "", 0)) is False
+        assert predicate((1, 0, "", 0)) is True
+
+
+class TestInBetweenLike:
+    def test_in_constant_list(self):
+        assert evaluate("t.a IN (1, 2)", (2, 0, "", 0)) is True
+        assert evaluate("t.a IN (1, 2)", (3, 0, "", 0)) is False
+
+    def test_not_in(self):
+        assert evaluate("t.a NOT IN (1, 2)", (3, 0, "", 0)) is True
+
+    def test_in_with_null_member_unknown_on_miss(self):
+        assert evaluate("t.a IN (1, NULL)", (3, 0, "", 0)) is None
+        assert evaluate("t.a IN (1, NULL)", (1, 0, "", 0)) is True
+
+    def test_in_null_operand(self):
+        assert evaluate("t.a IN (1, 2)", (None, 0, "", 0)) is None
+
+    def test_in_non_constant_items(self):
+        assert evaluate("t.a IN (t.b, 9)", (3, 3, "", 0)) is True
+
+    def test_between(self):
+        assert evaluate("t.a BETWEEN 1 AND 5", (3, 0, "", 0)) is True
+        assert evaluate("t.a BETWEEN 1 AND 5", (7, 0, "", 0)) is False
+
+    def test_not_between(self):
+        assert evaluate("t.a NOT BETWEEN 1 AND 5", (7, 0, "", 0)) is True
+
+    def test_between_null(self):
+        assert evaluate("t.a BETWEEN 1 AND 5", (None, 0, "", 0)) is None
+
+    def test_like_percent(self):
+        assert evaluate("t.s LIKE 'ab%'", (0, 0, "abcdef", 0)) is True
+        assert evaluate("t.s LIKE 'ab%'", (0, 0, "xabc", 0)) is False
+
+    def test_like_underscore(self):
+        assert evaluate("t.s LIKE 'a_c'", (0, 0, "abc", 0)) is True
+        assert evaluate("t.s LIKE 'a_c'", (0, 0, "abbc", 0)) is False
+
+    def test_not_like(self):
+        assert evaluate("t.s NOT LIKE 'a%'", (0, 0, "xyz", 0)) is True
+
+    def test_like_escapes_regex_chars(self):
+        assert evaluate("t.s LIKE 'a.c'", (0, 0, "a.c", 0)) is True
+        assert evaluate("t.s LIKE 'a.c'", (0, 0, "abc", 0)) is False
+
+    def test_like_null(self):
+        assert evaluate("t.s LIKE 'a%'", (0, 0, None, 0)) is None
+
+    def test_is_null(self):
+        assert evaluate("t.a IS NULL", (None, 0, "", 0)) is True
+        assert evaluate("t.a IS NOT NULL", (None, 0, "", 0)) is False
+
+
+class TestLikeRegex:
+    def test_anchoring(self):
+        assert like_to_regex("abc").match("abc")
+        assert not like_to_regex("abc").match("xabc")
+
+    def test_dotall(self):
+        assert like_to_regex("a%c").match("a\nc")
+
+
+class TestErrors:
+    def test_aggregate_outside_context(self):
+        with pytest.raises(ExecutionError):
+            compile_expression(parse_expression("COUNT(*)"), LAYOUT)
+
+    def test_star_not_scalar(self):
+        from repro.sql import ast
+
+        with pytest.raises(ExecutionError):
+            compile_expression(ast.Star(), LAYOUT)

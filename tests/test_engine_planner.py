@@ -1,0 +1,169 @@
+"""Unit tests for the conventional planner (pushdown, join order, tail)."""
+
+import pytest
+
+from repro.catalog.statistics import TableStatistics, ColumnStatistics
+from repro.engine.logical import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.engine.planner import aggregate_calls_of, plan_conjunctive_query
+from repro.sql.normalize import normalize
+from repro.sql.parser import parse
+
+from tests.conftest import example1_schema
+
+
+def plan(sql: str, stats: dict | None = None):
+    cq = normalize(parse(sql), example1_schema())
+    return plan_conjunctive_query(cq, stats or {})
+
+
+def scans_of(node) -> list[ScanNode]:
+    out = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ScanNode):
+            out.append(current)
+        for attr in ("child", "left", "right"):
+            child = getattr(current, attr, None)
+            if child is not None:
+                stack.append(child)
+    return out
+
+
+def stats_for(**row_counts: int) -> dict:
+    out = {}
+    for table, rows in row_counts.items():
+        stats = TableStatistics(table=table, row_count=rows)
+        out[table] = stats
+    return out
+
+
+class TestPushdown:
+    def test_selection_pushed_into_scan(self):
+        root = plan("SELECT recnum FROM call WHERE pnum = '1'")
+        (scan,) = scans_of(root)
+        assert scan.predicate is not None
+
+    def test_single_table_filter_pushed(self):
+        root = plan("SELECT recnum FROM call WHERE date >= '2016-01-01'")
+        (scan,) = scans_of(root)
+        assert scan.predicate is not None
+
+    def test_early_projection_narrows_columns(self):
+        root = plan("SELECT recnum FROM call WHERE pnum = '1'")
+        (scan,) = scans_of(root)
+        assert set(scan.columns) == {"recnum", "pnum"}
+
+    def test_cross_binding_filter_stays_above_join(self):
+        root = plan(
+            "SELECT c.recnum FROM call c, business b "
+            "WHERE c.pnum = b.pnum AND c.region > b.region"
+        )
+        filters = [
+            n for n in _walk(root) if isinstance(n, FilterNode)
+        ]
+        assert len(filters) == 1
+
+    def test_intra_occurrence_equality_pushed(self):
+        root = plan("SELECT recnum FROM call WHERE pnum = recnum")
+        (scan,) = scans_of(root)
+        assert scan.predicate is not None
+
+
+def _walk(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for attr in ("child", "left", "right"):
+            child = getattr(current, attr, None)
+            if child is not None:
+                stack.append(child)
+
+
+class TestJoinOrdering:
+    SQL = """
+        SELECT c.region FROM call c, package p, business b
+        WHERE b.pnum = c.pnum AND c.pnum = p.pnum
+    """
+
+    def test_cheapest_edge_joins_first(self):
+        """business (10 rows) ⋈ call comes before the package join."""
+        stats = stats_for(call=1_000_000, package=10_000, business=10)
+        root = plan(self.SQL, stats)
+        joins = [n for n in _walk(root) if isinstance(n, JoinNode)]
+        assert len(joins) == 2
+        leaf_joins = [
+            j
+            for j in joins
+            if isinstance(j.left, ScanNode) and isinstance(j.right, ScanNode)
+        ]
+        assert len(leaf_joins) == 1
+        first_tables = {s.table_name for s in scans_of(leaf_joins[0])}
+        assert first_tables == {"business", "call"}
+
+    def test_no_cross_join_when_edges_exist(self):
+        stats = stats_for(call=100, package=100, business=100)
+        root = plan(self.SQL, stats)
+        joins = [n for n in _walk(root) if isinstance(n, JoinNode)]
+        assert all(j.pairs for j in joins)
+
+    def test_cross_join_as_last_resort(self):
+        root = plan("SELECT c.region FROM call c, business b", stats_for())
+        joins = [n for n in _walk(root) if isinstance(n, JoinNode)]
+        assert len(joins) == 1 and not joins[0].pairs
+
+
+class TestTail:
+    def test_aggregate_node_collects_calls(self):
+        root = plan(
+            "SELECT pid, COUNT(*), SUM(pkg_id) FROM package GROUP BY pid"
+        )
+        (aggregate,) = [n for n in _walk(root) if isinstance(n, AggregateNode)]
+        assert len(aggregate.calls) == 2
+
+    def test_aggregate_calls_of_includes_having_and_order(self):
+        cq = normalize(
+            parse(
+                "SELECT pid FROM package GROUP BY pid "
+                "HAVING COUNT(*) > 1 ORDER BY MAX(pkg_id)"
+            ),
+            example1_schema(),
+        )
+        assert len(aggregate_calls_of(cq)) == 2
+
+    def test_sort_sits_below_project(self):
+        root = plan("SELECT recnum FROM call ORDER BY date")
+        nodes = list(_walk(root))
+        sort_depth = next(
+            i for i, n in enumerate(nodes) if isinstance(n, SortNode)
+        )
+        project_depth = next(
+            i for i, n in enumerate(nodes) if isinstance(n, ProjectNode)
+        )
+        # walking is pre-order from the root: project is seen before sort
+        assert project_depth < sort_depth
+
+    def test_distinct_and_limit_on_top(self):
+        root = plan("SELECT DISTINCT recnum FROM call LIMIT 3")
+        assert isinstance(root, LimitNode)
+        assert isinstance(root.child, DistinctNode)
+
+    def test_order_by_alias_rewritten(self):
+        root = plan(
+            "SELECT pid, COUNT(*) AS cnt FROM package GROUP BY pid "
+            "ORDER BY cnt DESC"
+        )
+        (sort,) = [n for n in _walk(root) if isinstance(n, SortNode)]
+        from repro.sql import ast
+
+        assert isinstance(sort.order_by[0].expression, ast.FunctionCall)

@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Run as subprocesses so each example is exercised exactly as a user would
+run it (fresh interpreter, its own imports, printing to stdout).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "access bound M = 12026000" in proc.stdout
+        assert "host engine agrees" in proc.stdout
+
+    def test_demo_walkthrough(self):
+        proc = run_example("demo_walkthrough.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "(A) BE Checker" in proc.stdout
+        assert "(B) bounded plan" in proc.stdout
+        assert "answers:" in proc.stdout
+
+    def test_telecom_cdr(self):
+        proc = run_example("telecom_cdr.py", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "covered: 10/11" in proc.stdout
+        assert "performance analysis of Q1" in proc.stdout
+
+    def test_discovery_and_maintenance(self):
+        proc = run_example("discovery_and_maintenance.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "access schema discovery" in proc.stdout
+        assert "REJECT policy" in proc.stdout
+        assert "drift monitor" in proc.stdout
+
+    def test_approximation_budget(self):
+        proc = run_example("approximation_budget.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "strict mode refuses" in proc.stdout
+        assert "guaranteed recall" in proc.stdout

@@ -1,0 +1,74 @@
+"""Robustness properties of the SQL frontend.
+
+The lexer/parser must never crash with anything other than the library's
+own error types, no matter the input — a property the CLI relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SQLError
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse, parse_script
+from repro.sql.tokens import TokenKind
+
+
+class TestLexerTotality:
+    @settings(max_examples=300, deadline=None)
+    @given(text=st.text(max_size=60))
+    def test_lexer_never_raises_foreign_exceptions(self, text):
+        try:
+            tokens = tokenize(text)
+        except SQLError:
+            return
+        assert tokens[-1].kind is TokenKind.EOF
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        text=st.text(
+            alphabet="SELECT FROM WHERE ab,.*()'=<>0123456789\n",
+            max_size=80,
+        )
+    )
+    def test_parser_never_raises_foreign_exceptions(self, text):
+        try:
+            parse(text)
+        except SQLError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        text=st.text(
+            alphabet="CREATE TABLE INSERT INTO VALUES abint(),;'0123456789 ",
+            max_size=80,
+        )
+    )
+    def test_script_parser_never_raises_foreign_exceptions(self, text):
+        try:
+            parse_script(text)
+        except SQLError:
+            pass
+
+
+class TestLexerReconstruction:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        words=st.lists(
+            st.sampled_from(
+                ["SELECT", "a", "b1", "FROM", "t", "WHERE", "=", "<=", "<>",
+                 "5", "2.5", "'str''ing'", "(", ")", ",", "*", "AND", "NULL"]
+            ),
+            max_size=15,
+        )
+    )
+    def test_token_stream_is_stable_under_retokenization(self, words):
+        """Tokenizing the joined token texts reproduces the same stream."""
+        text = " ".join(words)
+        first = tokenize(text)
+        rendered = " ".join(t.text if t.kind is not TokenKind.STRING
+                            else "'" + t.value.replace("'", "''") + "'"
+                            for t in first[:-1])
+        second = tokenize(rendered)
+        assert [(t.kind, t.value) for t in first] == [
+            (t.kind, t.value) for t in second
+        ]

@@ -1,0 +1,135 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+def kinds(sql: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(sql)][:-1]  # drop EOF
+
+
+def texts(sql: str) -> list[str]:
+    return [t.text for t in tokenize(sql)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_upper_cased(self):
+        assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        assert texts("myTable _col x1") == ["myTable", "_col", "x1"]
+
+    def test_keyword_prefix_is_identifier(self):
+        # 'selection' starts with 'select' but is one identifier
+        tokens = tokenize("selection")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+
+    def test_punctuation(self):
+        assert texts("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+    def test_qualified_name(self):
+        assert texts("t.c") == ["t", ".", "c"]
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INTEGER and token.value == 42
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.kind is TokenKind.FLOAT and token.value == 3.25
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.kind is TokenKind.FLOAT and token.value == 0.5
+
+    def test_exponent(self):
+        token = tokenize("1e3")[0]
+        assert token.kind is TokenKind.FLOAT and token.value == 1000.0
+
+    def test_signed_exponent(self):
+        token = tokenize("2.5E-2")[0]
+        assert token.value == 0.025
+
+    def test_integer_then_dot_identifier(self):
+        # '1e' would be a malformed exponent; lexer should not eat 'e3x'
+        tokens = tokenize("10 x")
+        assert tokens[0].value == 10
+
+
+class TestStrings:
+    def test_simple(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING and token.value == "hello"
+
+    def test_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_empty(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Select"')[0]
+        assert token.kind is TokenKind.IDENTIFIER and token.text == "Select"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    def test_longest_match(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+
+    def test_not_equal_variants(self):
+        assert texts("a <> b != c") == ["a", "<>", "b", "!=", "c"]
+
+    def test_arithmetic(self):
+        assert texts("a + b * c / d % e") == ["a", "+", "b", "*", "c", "/", "d", "%", "e"]
+
+    def test_concat(self):
+        assert texts("a || b") == ["a", "||", "b"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert texts("a -- comment\n b") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("a -- trailing") == ["a"]
+
+    def test_block_comment(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* oops")
+
+    def test_newlines_tracked(self):
+        tokens = tokenize("a\nb")
+        assert tokens[1].line == 2 and tokens[1].column == 1
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("a @ b")
+        assert "@" in str(exc.value)
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("ab\ncd @")
+        assert exc.value.line == 2

@@ -1,0 +1,239 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectCore:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.items == (ast.SelectItem(ast.Star()),)
+        assert stmt.from_items == (ast.TableRef("t"),)
+
+    def test_select_columns(self):
+        stmt = parse("SELECT a, t.b FROM t")
+        assert stmt.items[0].expression == ast.ColumnRef("a")
+        assert stmt.items[1].expression == ast.ColumnRef("b", table="t")
+
+    def test_alias_with_as(self):
+        stmt = parse("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse("SELECT a x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT a FROM t AS u")
+        assert stmt.from_items[0] == ast.TableRef("t", "u")
+
+    def test_table_alias_without_as(self):
+        stmt = parse("SELECT a FROM t u")
+        assert stmt.from_items[0] == ast.TableRef("t", "u")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_select_all_is_not_distinct(self):
+        assert not parse("SELECT ALL a FROM t").distinct
+
+    def test_multiple_tables(self):
+        stmt = parse("SELECT a FROM t, u, v")
+        assert len(stmt.from_items) == 3
+
+    def test_trailing_semicolon(self):
+        parse("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t extra nonsense nonsense")
+
+    def test_missing_from_table(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM")
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expression == ast.Star(table="t")
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        stmt = parse("SELECT a FROM t JOIN u ON t.x = u.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join) and join.kind == "INNER"
+        assert join.condition == ast.BinaryOp(
+            "=", ast.ColumnRef("x", "t"), ast.ColumnRef("y", "u")
+        )
+
+    def test_explicit_inner(self):
+        join = parse("SELECT a FROM t INNER JOIN u ON t.x = u.y").from_items[0]
+        assert join.kind == "INNER"
+
+    def test_left_join(self):
+        join = parse("SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.y").from_items[0]
+        assert join.kind == "LEFT"
+
+    def test_cross_join(self):
+        join = parse("SELECT a FROM t CROSS JOIN u").from_items[0]
+        assert join.kind == "CROSS" and join.condition is None
+
+    def test_chained_joins_left_assoc(self):
+        join = parse(
+            "SELECT a FROM t JOIN u ON t.x = u.x JOIN v ON u.y = v.y"
+        ).from_items[0]
+        assert isinstance(join.left, ast.Join)
+        assert isinstance(join.right, ast.TableRef) and join.right.name == "v"
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t JOIN u")
+
+
+class TestWhereClauses:
+    def test_comparison_normalises_ne(self):
+        stmt = parse("SELECT a FROM t WHERE a != 1")
+        assert stmt.where.op == "<>"
+
+    def test_and_or_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_not_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE NOT a = 1 AND b = 2")
+        assert stmt.where.op == "AND"
+        assert isinstance(stmt.where.left, ast.UnaryOp)
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert stmt.where == ast.Between(
+            ast.ColumnRef("a"), ast.Literal(1), ast.Literal(5)
+        )
+
+    def test_not_between(self):
+        assert parse("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5").where.negated
+
+    def test_between_binds_tighter_than_and(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b = 2")
+        assert stmt.where.op == "AND"
+        assert isinstance(stmt.where.left, ast.Between)
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert stmt.where == ast.InList(
+            ast.ColumnRef("a"),
+            (ast.Literal(1), ast.Literal(2), ast.Literal(3)),
+        )
+
+    def test_not_in(self):
+        assert parse("SELECT a FROM t WHERE a NOT IN (1)").where.negated
+
+    def test_like(self):
+        stmt = parse("SELECT a FROM t WHERE a LIKE 'x%'")
+        assert isinstance(stmt.where, ast.Like)
+
+    def test_is_null(self):
+        stmt = parse("SELECT a FROM t WHERE a IS NULL")
+        assert stmt.where == ast.IsNull(ast.ColumnRef("a"))
+
+    def test_is_not_null(self):
+        assert parse("SELECT a FROM t WHERE a IS NOT NULL").where.negated
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_unary_minus_folds_literal(self):
+        assert parse_expression("-5") == ast.Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expression("-a")
+        assert expr == ast.UnaryOp("-", ast.ColumnRef("a"))
+
+    def test_unary_plus_dropped(self):
+        assert parse_expression("+5") == ast.Literal(5)
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+        assert parse_expression("NULL") == ast.Literal(None)
+
+    def test_string_literal(self):
+        assert parse_expression("'abc'") == ast.Literal("abc")
+
+    def test_concat(self):
+        expr = parse_expression("a || b")
+        assert expr.op == "||"
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("SELECT FROM t")
+        assert "expected an expression" in str(exc.value)
+
+
+class TestAggregatesGrouping:
+    def test_count_star(self):
+        expr = parse("SELECT COUNT(*) FROM t").items[0].expression
+        assert expr == ast.FunctionCall("COUNT", (ast.Star(),))
+
+    def test_count_distinct(self):
+        expr = parse("SELECT COUNT(DISTINCT a) FROM t").items[0].expression
+        assert expr.distinct
+
+    def test_sum_avg_min_max(self):
+        stmt = parse("SELECT SUM(a), AVG(a), MIN(a), MAX(a) FROM t")
+        names = [item.expression.name for item in stmt.items]
+        assert names == ["SUM", "AVG", "MIN", "MAX"]
+
+    def test_group_by_multiple(self):
+        stmt = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert stmt.having is not None
+
+    def test_order_by_asc_desc(self):
+        stmt = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10 and stmt.offset == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT x")
+
+
+class TestSetOperations:
+    def test_union(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(stmt, ast.SetOperation) and stmt.op == "UNION"
+        assert not stmt.all
+
+    def test_union_all(self):
+        assert parse("SELECT a FROM t UNION ALL SELECT b FROM u").all
+
+    def test_intersect_except(self):
+        assert parse("SELECT a FROM t INTERSECT SELECT a FROM u").op == "INTERSECT"
+        assert parse("SELECT a FROM t EXCEPT SELECT a FROM u").op == "EXCEPT"
+
+    def test_left_associative_chain(self):
+        stmt = parse("SELECT a FROM t UNION SELECT a FROM u EXCEPT SELECT a FROM v")
+        assert stmt.op == "EXCEPT" and stmt.left.op == "UNION"
+
+    def test_parenthesised_block(self):
+        stmt = parse("(SELECT a FROM t) UNION SELECT a FROM u")
+        assert stmt.op == "UNION"
