@@ -54,6 +54,7 @@ from repro.bounded.approximation import BoundedApproximator
 from repro.bounded.analyzer import PerformanceAnalyzer
 from repro.beas.system import BEAS
 from repro.beas.result import BEASResult, ExecutionMode
+from repro.serving import BEASServer, PreparedQuery, ServingStats
 
 __version__ = "1.0.0"
 
@@ -85,5 +86,8 @@ __all__ = [
     "BEAS",
     "BEASResult",
     "ExecutionMode",
+    "BEASServer",
+    "PreparedQuery",
+    "ServingStats",
     "__version__",
 ]

@@ -43,8 +43,16 @@ class ASCatalog:
         self.schema = schema or AccessSchema(name=f"{database.name}-schema")
         self._indexes: dict[str, AccessIndex] = {}
         self._statistics: dict[str, IndexStatistics] = {}
+        #: Monotonic counter bumped on every access-schema change
+        #: (register / unregister / bound adjustment). Cached coverage
+        #: decisions are valid only while this is unchanged.
+        self.schema_generation: int = 0
         if schema is not None:
             self.build_all()
+
+    def note_schema_change(self) -> None:
+        """Record an access-schema mutation (invalidates cached decisions)."""
+        self.schema_generation += 1
 
     # ------------------------------------------------------------------ #
     # registration (Metadata module)
@@ -76,6 +84,7 @@ class ASCatalog:
             storage_cells=index.storage_cells(),
             build_seconds=elapsed,
         )
+        self.note_schema_change()
         return index
 
     def build_all(self, *, validate: bool = True) -> None:
@@ -104,6 +113,7 @@ class ASCatalog:
             self.schema.remove(name)
         self._indexes.pop(name, None)
         self._statistics.pop(name, None)
+        self.note_schema_change()
 
     # ------------------------------------------------------------------ #
     # lookups (used by the BE planner/executor)

@@ -22,7 +22,13 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import dataclasses
+import threading
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.prepared import PreparedQuery
+    from repro.serving.server import BEASServer
 
 from repro.access.catalog import ASCatalog
 from repro.access.constraint import AccessConstraint
@@ -62,6 +68,8 @@ class BEAS:
         self._host_engines: dict[str, ConventionalEngine] = {
             host_profile.name: self._host
         }
+        self._server: Optional["BEASServer"] = None
+        self._serve_lock = threading.Lock()
         self._refresh_components()
 
     def _refresh_components(self) -> None:
@@ -136,6 +144,41 @@ class BEAS:
         approximation route.
         """
         decision = self.check(query, budget)
+        return self.execute_decided(
+            query,
+            decision,
+            budget=budget,
+            allow_partial=allow_partial,
+            approximate_over_budget=approximate_over_budget,
+        )
+
+    def execute_decided(
+        self,
+        query: Union[str, ast.Statement],
+        decision: CoverageDecision,
+        *,
+        budget: Optional[int] = None,
+        allow_partial: bool = True,
+        approximate_over_budget: bool = False,
+    ) -> BEASResult:
+        """Execute ``query`` under an already-made checker ``decision``.
+
+        The serving layer (``repro.serving``) pins decisions in a cache
+        keyed by query fingerprint and access-schema generation and then
+        executes through this entry point, skipping the BE Checker.
+
+        A decision made without a budget carries ``within_budget=None``;
+        when a ``budget`` is passed here, feasibility is (re)derived from
+        the decision's access bound.
+        """
+        if (
+            budget is not None
+            and decision.covered
+            and decision.within_budget is None
+        ):
+            decision = dataclasses.replace(
+                decision, within_budget=decision.access_bound <= budget
+            )
         if decision.covered:
             if budget is not None and not decision.within_budget:
                 if approximate_over_budget and isinstance(
@@ -168,6 +211,33 @@ class BEAS:
         return BEASResult.from_query_result(
             result, ExecutionMode.CONVENTIONAL, decision
         )
+
+    # ------------------------------------------------------------------ #
+    # the serving layer (prepared queries + maintenance-aware caches)
+    # ------------------------------------------------------------------ #
+    def serve(self, **cache_options) -> "BEASServer":
+        """The serving layer over this instance (created once, memoised).
+
+        Keyword options (``result_cache_entries``, ``result_cache_bytes``,
+        …) are forwarded to :class:`~repro.serving.server.BEASServer` on
+        first use; pass them on the first call.
+        """
+        with self._serve_lock:
+            if self._server is None:
+                from repro.serving.server import BEASServer
+
+                self._server = BEASServer(self, **cache_options)
+            elif cache_options:
+                raise ValueError(
+                    "the serving layer is already built; pass cache options "
+                    "on the first serve() call or construct BEASServer "
+                    "directly"
+                )
+            return self._server
+
+    def prepare(self, sql: str, name: Optional[str] = None) -> "PreparedQuery":
+        """Prepare a query template on the default serving layer."""
+        return self.serve().prepare(sql, name)
 
     # ------------------------------------------------------------------ #
     # data updates (routed through incremental maintenance)

@@ -13,6 +13,9 @@ offers the same interactions:
 * ``discover`` — the offline discovery service: mine an access schema from
   a workload file under a storage budget (Fig. 2(D)), writing JSON
 * ``conform``  — verify that the data conforms to an access schema
+* ``serve-stats`` — run one query repeatedly through the prepared-query
+  serving layer (``repro.serving``) and report per-cache hit/miss/eviction
+  counters plus the cold-vs-warm latency split
 
 Databases load from a directory of ``*.csv`` files (the format written by
 ``repro.storage.dump_csv``: ``name:type`` headers) and/or ``*.sql``
@@ -140,6 +143,73 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 1
 
 
+def _coerce_param_value(text: str, like) -> object:
+    """Coerce CLI text to the type of the template's own constant, so
+    ``--param pnum=100`` binds the string ``'100'`` when the template
+    compares against a string — an int would silently match nothing."""
+    try:
+        if isinstance(like, bool):
+            return text.strip().lower() in ("true", "1", "yes")
+        if isinstance(like, int):
+            return int(text)
+        if isinstance(like, float):
+            return float(text)
+    except ValueError as error:
+        raise ReproError(
+            f"parameter value {text!r} does not match the template's "
+            f"{type(like).__name__} constant"
+        ) from error
+    return text
+
+
+def _parse_params(raw: Optional[Sequence[str]], slots) -> dict:
+    """``--param attr=v`` / ``--param attr=v1,v2`` into a bind mapping."""
+    from repro.serving.params import resolve_slot_name
+
+    params: dict = {}
+    for item in raw or ():
+        if "=" not in item:
+            raise ReproError(f"--param expects attr=value, got {item!r}")
+        key, _, value = item.partition("=")
+        slot = slots[resolve_slot_name(key.strip(), slots)]
+        like = slot.values[0] if slot.values else ""
+        values = [_coerce_param_value(v, like) for v in value.split(",")]
+        params[slot.name] = values[0] if len(values) == 1 else values
+    return params
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    import time
+
+    beas = _build_beas(args)
+    server = beas.serve()
+    prepared = server.prepare(_read_query(args), name="cli-query")
+    params = _parse_params(args.param, prepared.slots) or None
+    if prepared.slots:
+        print("slots: " + "; ".join(
+            prepared.slots[name].describe() for name in sorted(prepared.slots)
+        ))
+    latencies: list[float] = []
+    result = None
+    for _ in range(max(args.repeat, 1)):
+        start = time.perf_counter()
+        result = prepared.execute(params, budget=args.budget)
+        latencies.append(time.perf_counter() - start)
+    assert result is not None
+    print(
+        f"{len(result.rows)} rows via {result.mode.value} evaluation; "
+        f"last run served_from_cache={result.metrics.served_from_cache}"
+    )
+    warm = latencies[1:] or latencies
+    print(
+        f"latency: cold {latencies[0] * 1000:.2f} ms, "
+        f"warm median {sorted(warm)[len(warm) // 2] * 1000:.3f} ms "
+        f"over {len(warm)} runs"
+    )
+    print(server.stats().describe())
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 def _add_common(parser: argparse.ArgumentParser, *, schema_required: bool) -> None:
     parser.add_argument("--data", required=True, help="directory of .csv/.sql files")
@@ -208,6 +278,24 @@ def build_parser() -> argparse.ArgumentParser:
     conform = sub.add_parser("conform", help="check D |= A")
     _add_common(conform, schema_required=True)
     conform.set_defaults(handler=_cmd_conform)
+
+    serve_stats = sub.add_parser(
+        "serve-stats",
+        help="repeat a query through the serving layer; report cache stats",
+    )
+    _add_common(serve_stats, schema_required=True)
+    _add_query_args(serve_stats)
+    serve_stats.add_argument(
+        "--repeat", type=int, default=5, help="number of executions (default 5)"
+    )
+    serve_stats.add_argument("--budget", type=int)
+    serve_stats.add_argument(
+        "--param",
+        action="append",
+        help="bind a template slot, e.g. --param call.date=2016-06-02 "
+        "(repeatable; comma-separate multiple values for IN)",
+    )
+    serve_stats.set_defaults(handler=_cmd_serve_stats)
 
     return parser
 

@@ -56,16 +56,23 @@ class ConventionalEngine:
 
     # ------------------------------------------------------------------ #
     def statistics(self) -> dict[str, TableStatistics]:
-        """Per-table statistics, cached until the table's row count changes."""
+        """Per-table statistics, cached until the table is mutated.
+
+        Keyed on :attr:`Table.version` (a monotonic mutation counter), not
+        the row count: an insert+delete sequence that leaves the
+        cardinality unchanged still invalidates, so engines created at any
+        point — including after updates routed around the BEAS facade —
+        always see fresh statistics.
+        """
         stats: dict[str, TableStatistics] = {}
         for table in self.database:
             name = table.schema.name
             cached = self._stats_cache.get(name)
-            if cached is not None and cached[0] == len(table):
+            if cached is not None and cached[0] == table.version:
                 stats[name] = cached[1]
             else:
                 computed = table.statistics()
-                self._stats_cache[name] = (len(table), computed)
+                self._stats_cache[name] = (table.version, computed)
                 stats[name] = computed
         return stats
 

@@ -32,6 +32,10 @@ class ExecutionMetrics:
     rows_output: int = 0
     seconds: float = 0.0
     operations: list[OperationCost] = field(default_factory=list)
+    # --- serving-layer counters (repro.serving): per-request cache events ---
+    cache_hits: int = 0  # serving-cache hits while answering this request
+    cache_misses: int = 0  # serving-cache misses while answering this request
+    served_from_cache: bool = False  # rows came from the result cache
 
     @property
     def tuples_accessed(self) -> int:

@@ -131,3 +131,19 @@ class DiscoveryError(ReproError):
 
 class MaintenanceError(ReproError):
     """Base class for incremental-maintenance errors."""
+
+
+class ServingError(ReproError):
+    """Base class for prepared-query serving errors (repro.serving)."""
+
+
+class UnknownParameterError(ServingError):
+    """A bind override names a slot the prepared template does not have."""
+
+    def __init__(self, name: str, known: list[str]):
+        super().__init__(
+            f"unknown parameter {name!r}; template slots: "
+            f"{', '.join(known) or '(none)'}"
+        )
+        self.name = name
+        self.known = known

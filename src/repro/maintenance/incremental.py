@@ -129,6 +129,10 @@ class MaintenanceManager:
                 self._catalog.schema.add(widened)
                 index.constraint = widened
                 adjusted.append(constraint.name)
+        if adjusted:
+            # widened bounds change deduced plan bounds: cached coverage
+            # decisions must be re-checked
+            self._catalog.note_schema_change()
         return adjusted
 
     # ------------------------------------------------------------------ #

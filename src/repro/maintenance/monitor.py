@@ -112,4 +112,8 @@ class DriftMonitor:
             self._catalog.schema.add(adjusted)
             index.constraint = adjusted
             changed.append(constraint.name)
+        if changed:
+            # adjusted bounds change deduced plan bounds: cached coverage
+            # decisions (repro.serving) must be re-checked
+            self._catalog.note_schema_change()
         return changed

@@ -1,0 +1,42 @@
+"""Prepared-query serving layer (online amortisation of BEAS frontends).
+
+BEAS's promise — answers under a fixed access bound regardless of
+``|D|`` — fits repeated analytic workloads, but the seed prototype paid
+parse + normalize + BE Checker cost on every ``BEAS.execute()``. This
+package amortises that cost behind prepared statements and a multi-level
+cache hierarchy:
+
+* :class:`~repro.serving.prepared.PreparedQuery` — parse/fingerprint
+  once, parameterised constant slots, per-binding memoisation;
+* :class:`~repro.serving.server.BEASServer` — parse / coverage-decision
+  / result caches with maintenance-aware invalidation (access-schema
+  generation + per-table data versions);
+* :class:`~repro.serving.cache.LRUCache` / ``CacheStats`` — the shared
+  budgeted-LRU primitive and its counters.
+
+Entry point::
+
+    server = beas.serve()
+    pq = server.prepare("SELECT ... WHERE call.date = '2016-06-01' ...")
+    r1 = pq()                                   # cold: plan pinned
+    r2 = pq()                                   # warm: result-cache hit
+    r3 = pq({"call.date": "2016-06-02"})        # new binding, same template
+    print(server.stats().describe())
+"""
+
+from repro.serving.cache import CacheStats, LRUCache, approx_size
+from repro.serving.params import ParameterSlot, extract_slots, substitute
+from repro.serving.prepared import PreparedQuery
+from repro.serving.server import BEASServer, ServingStats
+
+__all__ = [
+    "BEASServer",
+    "CacheStats",
+    "LRUCache",
+    "ParameterSlot",
+    "PreparedQuery",
+    "ServingStats",
+    "approx_size",
+    "extract_slots",
+    "substitute",
+]

@@ -1,0 +1,186 @@
+"""Cache primitives for the serving layer.
+
+One :class:`LRUCache` implementation backs all three serving caches
+(parse, coverage-decision, result). Entries carry an approximate byte
+size so the result cache can enforce a byte budget on top of the entry
+budget; the cheaper caches pass ``sizeof=None`` and pay only the entry
+budget. Every cache keeps a :class:`CacheStats` counter block that the
+server surfaces through ``BEASServer.stats()`` and the CLI.
+
+The cache itself is not thread-safe; :class:`~repro.serving.server.
+BEASServer` serialises access behind one lock (the underlying engines
+are single-threaded anyway).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0  # capacity-driven removals (LRU order / byte budget)
+    invalidations: int = 0  # staleness-driven removals (generation bumps)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%}), {self.evictions} evictions, "
+            f"{self.invalidations} invalidations"
+        )
+
+
+@dataclass
+class _Entry:
+    value: Any
+    size: int
+
+
+def approx_size(value: Any, _depth: int = 0) -> int:
+    """Cheap recursive estimate of the in-memory footprint in bytes.
+
+    Exact accounting is not the goal — the result cache only needs a
+    stable, monotone measure to enforce its byte budget.
+    """
+    if _depth > 6:
+        return 64
+    if value is None or isinstance(value, bool):
+        return 16
+    if isinstance(value, (int, float)):
+        return 28
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, bytes):
+        return 33 + len(value)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return 56 + 8 * len(value) + sum(
+            approx_size(item, _depth + 1) for item in value
+        )
+    if isinstance(value, dict):
+        return 64 + sum(
+            approx_size(k, _depth + 1) + approx_size(v, _depth + 1)
+            for k, v in value.items()
+        )
+    return 128  # opaque object: flat charge
+
+
+class LRUCache:
+    """An LRU map with entry- and byte-budgets and counters.
+
+    ``max_bytes=None`` disables byte accounting (``sizeof`` is then never
+    called). A single value larger than ``max_bytes`` is refused rather
+    than evicting the whole cache to make room.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_entries: int = 256,
+        max_bytes: Optional[int] = None,
+        sizeof: Optional[Callable[[Any], int]] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.stats = CacheStats(name)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._sizeof = sizeof or (lambda value: 0)
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    def keys(self) -> list[Hashable]:
+        return list(self._entries.keys())
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        """Insert/replace; returns False when the value exceeds the budget."""
+        size = self._sizeof(value) if self.max_bytes is not None else 0
+        if self.max_bytes is not None and size > self.max_bytes:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.size
+        self._entries[key] = _Entry(value, size)
+        self._bytes += size
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None and self._bytes > self.max_bytes
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.size
+            self.stats.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one key as stale (counted as an invalidation, not eviction)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._bytes -= entry.size
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_where(self, predicate: Callable[[Hashable, Any], bool]) -> int:
+        """Drop every entry for which ``predicate(key, value)`` holds."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if predicate(key, entry.value)
+        ]
+        for key in stale:
+            entry = self._entries.pop(key)
+            self._bytes -= entry.size
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_all(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+        self.stats.invalidations += count
+        return count
+
+    def items(self) -> Iterable[tuple[Hashable, Any]]:
+        return [(key, entry.value) for key, entry in self._entries.items()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LRUCache({self.stats.name}, entries={len(self)}, "
+            f"bytes={self._bytes})"
+        )

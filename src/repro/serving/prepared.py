@@ -1,0 +1,139 @@
+"""Prepared queries: parse and pin once, execute many times.
+
+A :class:`PreparedQuery` does the frontend work a single time — parse,
+stable fingerprint, dependency (table) set, parameter-slot extraction —
+and then serves every execution through the owning
+:class:`~repro.serving.server.BEASServer`'s caches. The coverage
+decision and bounded plan for each distinct binding are pinned in the
+server's decision cache, keyed by (fingerprint, access-schema
+generation), so a repeated execute touches neither the parser, the
+normalizer, nor the BE Checker.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+from repro.sql import ast
+from repro.sql.fingerprint import statement_fingerprint, statement_tables
+from repro.serving.params import (
+    ParameterSlot,
+    binding_signature,
+    extract_slots,
+    resolve_overrides,
+    substitute,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.beas.result import BEASResult
+    from repro.bounded.coverage import CoverageDecision
+    from repro.serving.server import BEASServer
+
+#: Distinct bindings whose substituted AST + fingerprint stay memoised.
+_BINDING_CACHE_LIMIT = 64
+
+
+class PreparedQuery:
+    """One parsed template plus its parameterisable constant slots."""
+
+    def __init__(
+        self,
+        server: "BEASServer",
+        statement: ast.Statement,
+        sql: str,
+        name: Optional[str] = None,
+        *,
+        fingerprint: Optional[str] = None,
+        tables: Optional[frozenset[str]] = None,
+    ):
+        self._server = server
+        self.sql = sql
+        self.statement = statement
+        self.fingerprint = fingerprint or statement_fingerprint(statement)
+        self.tables = tables if tables is not None else statement_tables(statement)
+        self.slots: dict[str, ParameterSlot] = extract_slots(
+            statement, server.database.schema
+        )
+        self.name = name or f"pq-{self.fingerprint[:12]}"
+        self._bindings: OrderedDict[tuple, tuple[ast.Statement, str]] = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------ #
+    def bind(
+        self, params: Optional[Mapping[str, Any]] = None
+    ) -> tuple[ast.Statement, str]:
+        """The concrete (statement, fingerprint) for one set of overrides.
+
+        With no overrides the template's own constants are used. Distinct
+        bindings are memoised (LRU) so repeated executes skip both the
+        substitution and the canonical re-print.
+        """
+        if not params:
+            return self.statement, self.fingerprint
+        schema = self._server.database.schema
+        resolved = resolve_overrides(params, self.slots, self.statement, schema)
+        signature = binding_signature(resolved)
+        cached = self._bindings.get(signature)
+        if cached is not None:
+            self._bindings.move_to_end(signature)
+            return cached
+        statement = substitute(self.statement, resolved, schema)
+        fingerprint = statement_fingerprint(statement)
+        self._bindings[signature] = (statement, fingerprint)
+        while len(self._bindings) > _BINDING_CACHE_LIMIT:
+            self._bindings.popitem(last=False)
+        return statement, fingerprint
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        budget: Optional[int] = None,
+        allow_partial: bool = True,
+        approximate_over_budget: bool = False,
+        use_result_cache: bool = True,
+    ) -> "BEASResult":
+        """Execute one binding through the serving caches."""
+        return self._server.execute_prepared(
+            self,
+            params,
+            budget=budget,
+            allow_partial=allow_partial,
+            approximate_over_budget=approximate_over_budget,
+            use_result_cache=use_result_cache,
+        )
+
+    __call__ = execute
+
+    def check(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        budget: Optional[int] = None,
+    ) -> "CoverageDecision":
+        """The (cached) coverage decision for one binding."""
+        return self._server.check_prepared(self, params, budget=budget)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        lines = [
+            f"prepared {self.name}: {self.fingerprint[:12]}…",
+            f"  tables: {', '.join(sorted(self.tables)) or '(none)'}",
+            f"  slots: "
+            + (
+                "; ".join(
+                    self.slots[name].describe() for name in sorted(self.slots)
+                )
+                or "(none)"
+            ),
+            f"  bindings memoised: {len(self._bindings)}",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.name}, slots={sorted(self.slots)}, "
+            f"bindings={len(self._bindings)})"
+        )

@@ -1,0 +1,460 @@
+"""The prepared-query serving layer: ``BEASServer``.
+
+Wraps one :class:`~repro.beas.system.BEAS` instance with the machinery a
+high-traffic deployment needs to amortise per-query frontend cost:
+
+* a **parse cache** (SQL text -> AST + fingerprint + table set),
+* a **coverage-decision cache** keyed by (query fingerprint,
+  access-schema generation) — the pinned BE Checker outcome and bounded
+  plan for each distinct query/binding,
+* an **LRU result cache** with entry and byte budgets, invalidated at
+  per-table granularity by a monotonic data-generation counter
+  (:attr:`~repro.storage.table.Table.version`) so an insert into
+  ``call`` never evicts results computed over ``package`` only.
+
+Maintenance-awareness: the access-schema generation
+(:attr:`~repro.access.catalog.ASCatalog.schema_generation`, bumped by
+``register``/``unregister`` and by constraint-bound adjustments) flushes
+the decision *and* result caches — a schema change can flip the
+execution mode, and a non-bag-exact bounded answer (set semantics) need
+not equal a conventional one (bag semantics). Data updates routed
+through :class:`~repro.maintenance.incremental.MaintenanceManager` (or
+any path that mutates a :class:`~repro.storage.table.Table`) bump the
+affected table's version; the server sweeps dependent result entries on
+the next request and additionally validates every hit against the
+current versions, so a stale row can never be served.
+
+All public entry points serialise on one reentrant lock: the in-memory
+engines are not internally thread-safe, and the lock makes a mixed
+query/maintenance workload linearisable (see the thread-safety smoke
+test).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
+
+from repro.beas.result import BEASResult, ExecutionMode
+from repro.engine.metrics import ExecutionMetrics
+from repro.errors import ServingError
+from repro.sql import ast
+from repro.sql.fingerprint import statement_fingerprint, statement_tables
+from repro.sql.parser import parse
+from repro.serving.cache import CacheStats, LRUCache, approx_size
+from repro.serving.prepared import PreparedQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.access.constraint import AccessConstraint
+    from repro.beas.system import BEAS
+    from repro.bounded.coverage import CoverageDecision
+    from repro.maintenance.incremental import UpdateBatch
+
+
+@dataclass
+class _CachedResult:
+    """One result-cache entry plus the data generations it depends on."""
+
+    columns: list[str]
+    rows: list[tuple]
+    mode: ExecutionMode
+    decision: "CoverageDecision"
+    table_versions: dict[str, int]
+
+
+def _result_size(entry: _CachedResult) -> int:
+    return approx_size(entry.columns) + approx_size(entry.rows)
+
+
+@dataclass
+class ServingStats:
+    """Aggregated serving counters (``BEASServer.stats()``)."""
+
+    parse: CacheStats
+    decision: CacheStats
+    result: CacheStats
+    result_entries: int = 0
+    result_bytes: int = 0
+    prepared_queries: int = 0
+    executions: int = 0
+    schema_generation: int = 0
+    table_versions: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            "serving stats:",
+            f"  {self.parse.describe()}",
+            f"  {self.decision.describe()}",
+            f"  {self.result.describe()}",
+            f"  result cache: {self.result_entries} entries, "
+            f"{self.result_bytes} bytes",
+            f"  prepared queries: {self.prepared_queries}",
+            f"  executions served: {self.executions}",
+            f"  access-schema generation: {self.schema_generation}",
+        ]
+        return "\n".join(lines)
+
+
+class BEASServer:
+    """Prepare/execute front end over one BEAS instance (see module doc)."""
+
+    def __init__(
+        self,
+        beas: "BEAS",
+        *,
+        parse_cache_entries: int = 512,
+        decision_cache_entries: int = 1024,
+        result_cache_entries: int = 512,
+        result_cache_bytes: Optional[int] = 8 << 20,
+    ):
+        self._beas = beas
+        self._lock = threading.RLock()
+        self._parse_cache = LRUCache("parse", max_entries=parse_cache_entries)
+        self._decision_cache = LRUCache(
+            "decision", max_entries=decision_cache_entries
+        )
+        self._result_cache = LRUCache(
+            "result",
+            max_entries=result_cache_entries,
+            max_bytes=result_cache_bytes,
+            sizeof=_result_size,
+        )
+        self._prepared: dict[str, PreparedQuery] = {}
+        self._executions = 0
+        self._schema_generation = beas.catalog.schema_generation
+        self._table_versions = {
+            table.schema.name: table.version for table in beas.database
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def beas(self) -> "BEAS":
+        return self._beas
+
+    @property
+    def database(self):
+        return self._beas.database
+
+    # ------------------------------------------------------------------ #
+    # prepare
+    # ------------------------------------------------------------------ #
+    def prepare(self, sql: str, name: Optional[str] = None) -> PreparedQuery:
+        """Parse/fingerprint once; returns the reusable prepared handle.
+
+        Preparing the same text again returns the existing handle (under
+        its existing name when ``name`` is not given).
+        """
+        with self._lock:
+            statement, fingerprint, tables, _ = self._frontend(sql)
+            for existing in self._prepared.values():
+                if existing.fingerprint == fingerprint and (
+                    name is None or existing.name == name
+                ):
+                    return existing
+            prepared = PreparedQuery(
+                self, statement, sql, name,
+                fingerprint=fingerprint, tables=tables,
+            )
+            if prepared.name in self._prepared:
+                raise ServingError(
+                    f"a different query is already prepared as "
+                    f"{prepared.name!r}"
+                )
+            self._prepared[prepared.name] = prepared
+            return prepared
+
+    def prepared(self, name: str) -> PreparedQuery:
+        with self._lock:
+            try:
+                return self._prepared[name]
+            except KeyError:
+                raise ServingError(f"no prepared query named {name!r}") from None
+
+    def prepared_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._prepared)
+
+    # ------------------------------------------------------------------ #
+    # execute
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: Union[str, ast.Statement],
+        *,
+        budget: Optional[int] = None,
+        allow_partial: bool = True,
+        approximate_over_budget: bool = False,
+        use_result_cache: bool = True,
+    ) -> BEASResult:
+        """One-shot execution through the serving caches (no prepare)."""
+        with self._lock:
+            statement, fingerprint, tables, parse_hit = self._frontend(query)
+            return self._execute(
+                statement,
+                fingerprint,
+                tables,
+                budget=budget,
+                allow_partial=allow_partial,
+                approximate_over_budget=approximate_over_budget,
+                use_result_cache=use_result_cache,
+                parse_hit=parse_hit,
+            )
+
+    def execute_prepared(
+        self,
+        prepared: Union[str, PreparedQuery],
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        budget: Optional[int] = None,
+        allow_partial: bool = True,
+        approximate_over_budget: bool = False,
+        use_result_cache: bool = True,
+    ) -> BEASResult:
+        """Execute a prepared query (by handle or name) for one binding."""
+        with self._lock:
+            if isinstance(prepared, str):
+                prepared = self.prepared(prepared)
+            statement, fingerprint = prepared.bind(params)
+            return self._execute(
+                statement,
+                fingerprint,
+                prepared.tables,
+                budget=budget,
+                allow_partial=allow_partial,
+                approximate_over_budget=approximate_over_budget,
+                use_result_cache=use_result_cache,
+                parse_hit=True,  # the template parse is amortised
+            )
+
+    def check(
+        self, query: Union[str, ast.Statement], budget: Optional[int] = None
+    ) -> "CoverageDecision":
+        """The (cached) BE Checker outcome for a query."""
+        with self._lock:
+            statement, fingerprint, _, _ = self._frontend(query)
+            self._sync_generations()
+            decision, _ = self._decision(statement, fingerprint)
+            return self._with_budget(decision, budget)
+
+    def check_prepared(
+        self,
+        prepared: Union[str, PreparedQuery],
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        budget: Optional[int] = None,
+    ) -> "CoverageDecision":
+        with self._lock:
+            if isinstance(prepared, str):
+                prepared = self.prepared(prepared)
+            statement, fingerprint = prepared.bind(params)
+            self._sync_generations()
+            decision, _ = self._decision(statement, fingerprint)
+            return self._with_budget(decision, budget)
+
+    # ------------------------------------------------------------------ #
+    # maintenance passthroughs (serialised with query execution)
+    # ------------------------------------------------------------------ #
+    def insert(
+        self, table_name: str, rows, *, adjust_bounds: bool = False
+    ) -> "UpdateBatch":
+        with self._lock:
+            batch = self._beas.insert(
+                table_name, rows, adjust_bounds=adjust_bounds
+            )
+            self._sync_generations()
+            return batch
+
+    def delete(self, table_name: str, rows) -> "UpdateBatch":
+        with self._lock:
+            batch = self._beas.delete(table_name, rows)
+            self._sync_generations()
+            return batch
+
+    def register(
+        self, constraint: "AccessConstraint", *, validate: bool = True
+    ) -> None:
+        with self._lock:
+            self._beas.register(constraint, validate=validate)
+            self._sync_generations()
+
+    def unregister(self, constraint_name: str) -> None:
+        with self._lock:
+            self._beas.unregister(constraint_name)
+            self._sync_generations()
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServingStats:
+        with self._lock:
+            return ServingStats(
+                parse=replace(self._parse_cache.stats),
+                decision=replace(self._decision_cache.stats),
+                result=replace(self._result_cache.stats),
+                result_entries=len(self._result_cache),
+                result_bytes=self._result_cache.current_bytes,
+                prepared_queries=len(self._prepared),
+                executions=self._executions,
+                schema_generation=self._schema_generation,
+                table_versions=dict(self._table_versions),
+            )
+
+    def reset_caches(self) -> None:
+        """Drop all cached state (keeps prepared handles)."""
+        with self._lock:
+            self._parse_cache.invalidate_all()
+            self._decision_cache.invalidate_all()
+            self._result_cache.invalidate_all()
+            for prepared in self._prepared.values():
+                prepared._bindings.clear()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _frontend(
+        self, query: Union[str, ast.Statement]
+    ) -> tuple[ast.Statement, str, frozenset[str], bool]:
+        """Parse + fingerprint + dependency set, through the parse cache."""
+        if not isinstance(query, str):
+            return (
+                query,
+                statement_fingerprint(query),
+                statement_tables(query),
+                False,
+            )
+        cached = self._parse_cache.get(query)
+        if cached is not None:
+            return (*cached, True)
+        statement = parse(query)
+        fingerprint = statement_fingerprint(statement)
+        tables = statement_tables(statement)
+        self._parse_cache.put(query, (statement, fingerprint, tables))
+        return statement, fingerprint, tables, False
+
+    def _sync_generations(self) -> None:
+        """Observe schema/data generations; drop whatever they stale."""
+        catalog_generation = self._beas.catalog.schema_generation
+        if catalog_generation != self._schema_generation:
+            self._schema_generation = catalog_generation
+            self._decision_cache.invalidate_all()
+            # mode can flip (bounded set-semantics vs conventional bag
+            # semantics), so results pinned under the old schema go too
+            self._result_cache.invalidate_all()
+        changed: set[str] = set()
+        for table in self._beas.database:
+            name = table.schema.name
+            if self._table_versions.get(name) != table.version:
+                changed.add(name)
+                self._table_versions[name] = table.version
+        if changed:
+            self._result_cache.invalidate_where(
+                lambda _key, entry: bool(changed & entry.table_versions.keys())
+            )
+
+    def _decision(
+        self, statement: ast.Statement, fingerprint: str
+    ) -> tuple["CoverageDecision", bool]:
+        """The budget-free coverage decision, through the decision cache."""
+        decision = self._decision_cache.get(fingerprint)
+        if decision is not None:
+            return decision, True
+        decision = self._beas.check(statement)
+        self._decision_cache.put(fingerprint, decision)
+        return decision, False
+
+    @staticmethod
+    def _with_budget(
+        decision: "CoverageDecision", budget: Optional[int]
+    ) -> "CoverageDecision":
+        if budget is None or not decision.covered:
+            return decision
+        return replace(
+            decision, within_budget=decision.access_bound <= budget
+        )
+
+    def _execute(
+        self,
+        statement: ast.Statement,
+        fingerprint: str,
+        tables: frozenset[str],
+        *,
+        budget: Optional[int],
+        allow_partial: bool,
+        approximate_over_budget: bool,
+        use_result_cache: bool,
+        parse_hit: bool,
+    ) -> BEASResult:
+        self._executions += 1
+        self._sync_generations()
+        hits = 1 if parse_hit else 0
+        misses = 0 if parse_hit else 1
+
+        result_key = (fingerprint, budget, allow_partial, approximate_over_budget)
+        if use_result_cache:
+            entry = self._result_cache.get(result_key)
+            if entry is not None and self._entry_fresh(entry):
+                metrics = ExecutionMetrics(
+                    rows_output=len(entry.rows),
+                    served_from_cache=True,
+                    cache_hits=hits + 1,
+                    cache_misses=misses,
+                )
+                return BEASResult(
+                    columns=list(entry.columns),
+                    rows=list(entry.rows),
+                    mode=entry.mode,
+                    decision=entry.decision,
+                    metrics=metrics,
+                )
+            if entry is not None:  # stale despite sync: drop defensively
+                self._result_cache.invalidate(result_key)
+            misses += 1
+
+        decision, decision_hit = self._decision(statement, fingerprint)
+        hits += 1 if decision_hit else 0
+        misses += 0 if decision_hit else 1
+        decision = self._with_budget(decision, budget)
+
+        result = self._beas.execute_decided(
+            statement,
+            decision,
+            budget=budget,
+            allow_partial=allow_partial,
+            approximate_over_budget=approximate_over_budget,
+        )
+        result.metrics.cache_hits += hits
+        result.metrics.cache_misses += misses
+
+        if use_result_cache and result.mode is not ExecutionMode.APPROXIMATE:
+            self._result_cache.put(
+                result_key,
+                _CachedResult(
+                    columns=list(result.columns),
+                    rows=list(result.rows),
+                    mode=result.mode,
+                    decision=decision,
+                    table_versions={
+                        name: self._table_versions.get(name, 0)
+                        for name in tables
+                    },
+                ),
+            )
+        return result
+
+    def _entry_fresh(self, entry: _CachedResult) -> bool:
+        """Belt-and-braces: validate a hit against the live table versions."""
+        for name, version in entry.table_versions.items():
+            try:
+                table = self._beas.database.table(name)
+            except Exception:  # table dropped: treat as stale
+                return False
+            if table.version != version:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"BEASServer({self._beas.database.name}: "
+            f"{len(self._prepared)} prepared, {self._executions} served)"
+        )

@@ -11,6 +11,12 @@ from repro.sql.lexer import tokenize
 from repro.sql.parser import parse, parse_expression, parse_script
 from repro.sql.printer import to_sql
 from repro.sql.normalize import normalize, ConjunctiveQuery
+from repro.sql.fingerprint import (
+    canonical_sql,
+    canonical_statement,
+    statement_fingerprint,
+    statement_tables,
+)
 from repro.sql.script import run_script, ScriptResult
 
 __all__ = [
@@ -21,6 +27,10 @@ __all__ = [
     "to_sql",
     "normalize",
     "ConjunctiveQuery",
+    "canonical_sql",
+    "canonical_statement",
+    "statement_fingerprint",
+    "statement_tables",
     "run_script",
     "ScriptResult",
 ]

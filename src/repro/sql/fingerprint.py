@@ -1,0 +1,160 @@
+"""Stable query fingerprinting for the serving layer.
+
+A fingerprint identifies a query up to *presentation*: whitespace,
+keyword case, and the order of commutative ``AND`` conjuncts and ``IN``
+list members do not change it. It is computed by printing a canonical
+form of the AST (``repro.sql.printer``) and hashing the text, so two
+spellings of the same query share one cache line in the serving layer's
+decision and result caches.
+
+Canonicalisation is deliberately conservative — it only applies rewrites
+that are semantics-preserving under SQL's three-valued logic:
+
+* flatten a top-level ``AND`` chain and sort the conjuncts by printed
+  text (``AND`` is commutative and associative; no side effects exist);
+* sort the members of an ``IN`` / ``NOT IN`` list whose items are all
+  literals (membership is order-independent).
+
+Deeper equivalences (predicate implication, join reordering under
+dependencies) are out of scope — a missed equivalence costs a cache
+miss, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.printer import expression_to_sql, to_sql
+
+
+def _and_conjuncts(expr: ast.Expression) -> list[ast.Expression]:
+    """Flatten a (possibly nested) AND chain into its conjuncts."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _and_conjuncts(expr.left) + _and_conjuncts(expr.right)
+    return [expr]
+
+
+def _rebuild_and(conjuncts: list[ast.Expression]) -> ast.Expression:
+    node = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        node = ast.BinaryOp("AND", node, conjunct)
+    return node
+
+
+def canonical_expression(expr: ast.Expression) -> ast.Expression:
+    """Reorder commutative parts of ``expr`` into a canonical form."""
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "AND":
+            conjuncts = sorted(
+                (canonical_expression(c) for c in _and_conjuncts(expr)),
+                key=expression_to_sql,
+            )
+            return _rebuild_and(conjuncts)
+        return ast.BinaryOp(
+            expr.op,
+            canonical_expression(expr.left),
+            canonical_expression(expr.right),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, canonical_expression(expr.operand))
+    if isinstance(expr, ast.InList):
+        items = tuple(canonical_expression(i) for i in expr.items)
+        if all(isinstance(i, ast.Literal) for i in items):
+            items = tuple(
+                sorted(items, key=lambda i: (str(type(i.value)), repr(i.value)))
+            )
+        return ast.InList(canonical_expression(expr.operand), items, expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            canonical_expression(expr.operand),
+            canonical_expression(expr.low),
+            canonical_expression(expr.high),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(
+            canonical_expression(expr.operand),
+            canonical_expression(expr.pattern),
+            expr.negated,
+        )
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(canonical_expression(expr.operand), expr.negated)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            expr.name,
+            tuple(canonical_expression(a) for a in expr.args),
+            expr.distinct,
+        )
+    return expr  # Literal, ColumnRef, Star
+
+
+def canonical_statement(statement: ast.Statement) -> ast.Statement:
+    """Canonicalise WHERE/HAVING conjunct order (and nested set-op sides)."""
+    if isinstance(statement, ast.SetOperation):
+        return ast.SetOperation(
+            statement.op,
+            canonical_statement(statement.left),
+            canonical_statement(statement.right),
+            statement.all,
+        )
+    where = (
+        canonical_expression(statement.where)
+        if statement.where is not None
+        else None
+    )
+    having = (
+        canonical_expression(statement.having)
+        if statement.having is not None
+        else None
+    )
+    if where is statement.where and having is statement.having:
+        return statement
+    return ast.SelectStatement(
+        items=statement.items,
+        from_items=statement.from_items,
+        where=where,
+        group_by=statement.group_by,
+        having=having,
+        order_by=statement.order_by,
+        limit=statement.limit,
+        offset=statement.offset,
+        distinct=statement.distinct,
+    )
+
+
+def canonical_sql(query: Union[str, ast.Statement]) -> str:
+    """The canonical printed form used as the fingerprint's preimage."""
+    statement = parse(query) if isinstance(query, str) else query
+    return to_sql(canonical_statement(statement))
+
+
+def statement_fingerprint(query: Union[str, ast.Statement]) -> str:
+    """Hex digest identifying the query up to presentation order."""
+    preimage = canonical_sql(query)
+    return hashlib.sha256(preimage.encode("utf-8")).hexdigest()
+
+
+def statement_tables(statement: ast.Statement) -> frozenset[str]:
+    """Base tables a statement reads (dependency set for result caching)."""
+    tables: set[str] = set()
+
+    def visit_from(item: ast.FromItem) -> None:
+        if isinstance(item, ast.TableRef):
+            tables.add(item.name)
+        else:
+            visit_from(item.left)
+            visit_from(item.right)
+
+    def visit(stmt: ast.Statement) -> None:
+        if isinstance(stmt, ast.SetOperation):
+            visit(stmt.left)
+            visit(stmt.right)
+            return
+        for item in stmt.from_items:
+            visit_from(item)
+
+    visit(statement)
+    return frozenset(tables)

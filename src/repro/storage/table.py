@@ -18,11 +18,18 @@ Row = tuple
 
 
 class Table:
-    """One relation instance."""
+    """One relation instance.
+
+    ``version`` is a monotonic mutation counter: every insert/delete bumps
+    it, so caches (engine statistics, serving-layer result caches) can key
+    on it instead of the row count — which misses insert+delete sequences
+    that leave the cardinality unchanged.
+    """
 
     def __init__(self, schema: TableSchema, rows: Iterable[Sequence[Any]] = ()):
         self.schema = schema
         self.rows: list[Row] = []
+        self.version: int = 0
         for row in rows:
             self.insert(row)
 
@@ -52,6 +59,7 @@ class Table:
                     )
             values = tuple(row)
         self.rows.append(values)
+        self.version += 1
         return values
 
     def insert_many(self, rows: Iterable[Sequence[Any]], *, coerce: bool = False) -> int:
@@ -68,6 +76,8 @@ class Table:
         for row in self.rows:
             (removed if predicate(row) else kept).append(row)
         self.rows = kept
+        if removed:
+            self.version += 1
         return removed
 
     def delete_rows(self, rows: Iterable[Sequence[Any]]) -> list[Row]:
@@ -84,10 +94,13 @@ class Table:
             else:
                 kept.append(row)
         self.rows = kept
+        if removed:
+            self.version += 1
         return removed
 
     def clear(self) -> None:
         self.rows.clear()
+        self.version += 1
 
     # ------------------------------------------------------------------ #
     # access

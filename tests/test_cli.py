@@ -158,6 +158,47 @@ class TestDiscoverAndConform:
         ) == 2
 
 
+class TestServeStats:
+    def test_repeated_query_reports_cache_stats(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving stats:" in out
+        assert "result:" in out and "hits" in out
+        assert "served_from_cache=True" in out
+        assert "latency: cold" in out
+
+    def test_param_binding(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "2",
+                "--param", "call.date=2016-06-02",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slots:" in out
+
+    def test_bad_param_is_an_error(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--param", "no-equals-sign",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSqlScriptLoading:
     def test_database_from_sql_script(self, tmp_path, capsys):
         data = tmp_path / "data"

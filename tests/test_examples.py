@@ -54,3 +54,10 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "strict mode refuses" in proc.stdout
         assert "guaranteed recall" in proc.stdout
+
+    def test_prepared_serving(self):
+        proc = run_example("prepared_serving.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "served_from_cache=True" in proc.stdout
+        assert "packages-of-100 retained (cache hit: True)" in proc.stdout
+        assert "serving stats:" in proc.stdout

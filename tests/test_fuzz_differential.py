@@ -1,0 +1,373 @@
+"""Differential fuzzing: every BEAS mode vs the brute-force oracle.
+
+A seeded random generator produces SPJA queries (projections, equality /
+range / IN predicates, joins, aggregates, GROUP BY, LIMIT) over the
+paper's Example-1 schema and over the TLC schema, and asserts that
+whatever mode BEAS picks — bounded, partial, conventional, and the
+serving layer's cached replays of each — agrees with
+``tests.reference_evaluator`` under bag semantics. Random interleaved
+insert/delete batches re-run the same queries against a fresh oracle
+afterwards, which is the guard that the serving caches never serve
+stale or wrong rows.
+
+Comparison rules:
+
+* non-bag-exact bounded answers carry set semantics (the checker records
+  ``bag_exact=False``), so they compare as sets against the oracle;
+* everything else compares as a multiset;
+* ``LIMIT`` without ``ORDER BY`` may return any admissible subset, so
+  those compare by cardinality + multiset containment.
+
+Every comparison is a hard assert, each parametrized test asserts it
+performed exactly its configured share of scenarios, and
+``test_scenario_floor`` checks the configured total covers at least 200
+query/maintenance scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro import BEAS, Database
+from repro.beas.result import ExecutionMode
+from repro.errors import MaintenanceError
+from repro.workloads.tlc import tlc_access_schema
+from repro.workloads.tlc.schema import tlc_schema
+
+from tests.conftest import example1_access_schema, example1_schema
+from tests.reference_evaluator import reference_execute
+
+_SCENARIOS = 0  # comparisons performed across the whole module
+
+
+# --------------------------------------------------------------------------- #
+# random Example-1 instances
+# --------------------------------------------------------------------------- #
+PNUMS = ["100", "101", "102", "103", "104", "105"]
+DATES = ["2016-06-01", "2016-06-02", "2016-06-03"]
+REGIONS = ["north", "south", "east", "west", "plains"]
+TYPES = ["bank", "shop", "cafe"]
+RECNUMS = ["555", "556", "557", "558"]
+PIDS = ["c0", "c1", "c2"]
+
+
+def random_example1_db(rng: random.Random) -> Database:
+    db = Database(example1_schema())
+    for pnum in PNUMS:
+        db.insert("business", (pnum, rng.choice(TYPES), rng.choice(REGIONS)))
+    for pkg_id in range(rng.randint(4, 10)):
+        year = rng.choice([2015, 2016])
+        db.insert(
+            "package",
+            (
+                pkg_id,
+                rng.choice(PNUMS),
+                rng.choice(PIDS),
+                f"{year}-01-01",
+                f"{year}-12-31",
+                year,
+            ),
+        )
+    for call_id in range(rng.randint(6, 16)):
+        db.insert(
+            "call",
+            (
+                call_id,
+                rng.choice(PNUMS),
+                rng.choice(RECNUMS),
+                rng.choice(DATES),
+                rng.choice(REGIONS),
+            ),
+        )
+    return db
+
+
+# --------------------------------------------------------------------------- #
+# random query generation (SQL text; all column refs are qualified)
+# --------------------------------------------------------------------------- #
+def _random_predicates(rng: random.Random, tables: list[str]) -> list[str]:
+    choices: list[str] = []
+    if "call" in tables:
+        choices += [
+            f"call.pnum = '{rng.choice(PNUMS)}'",
+            f"call.date = '{rng.choice(DATES)}'",
+            f"call.region IN ({', '.join(repr(r) for r in rng.sample(REGIONS, 2))})",
+            f"call.date >= '{rng.choice(DATES)}'",
+            f"call.region <> '{rng.choice(REGIONS)}'",
+        ]
+    if "business" in tables:
+        choices += [
+            f"business.type = '{rng.choice(TYPES)}'",
+            f"business.region = '{rng.choice(REGIONS)}'",
+            f"business.type IN ({', '.join(repr(t) for t in rng.sample(TYPES, 2))})",
+        ]
+    if "package" in tables:
+        choices += [
+            f"package.year = {rng.choice([2015, 2016])}",
+            f"package.pid = '{rng.choice(PIDS)}'",
+            "package.year BETWEEN 2015 AND 2016",
+            f"package.start <= '{rng.choice(DATES)}'",
+        ]
+    rng.shuffle(choices)
+    return choices[: rng.randint(1, 3)]
+
+
+def random_example1_query(rng: random.Random) -> tuple[str, int | None]:
+    """One random SPJA query; returns (sql, limit_or_none)."""
+    tables = rng.choice(
+        [
+            ["call"],
+            ["business"],
+            ["package"],
+            ["call", "business"],
+            ["call", "package"],
+            ["call", "package", "business"],
+        ]
+    )
+    joins: list[str] = []
+    if "call" in tables and "business" in tables:
+        joins.append("call.pnum = business.pnum")
+    if "call" in tables and "package" in tables:
+        joins.append("call.pnum = package.pnum")
+    if tables == ["package", "business"]:  # pragma: no cover - not generated
+        joins.append("package.pnum = business.pnum")
+
+    predicates = joins + _random_predicates(rng, tables)
+    where = " AND ".join(predicates)
+
+    shape = rng.random()
+    limit: int | None = None
+    if shape < 0.25 and len(tables) == 1:
+        # aggregates over one table (keeps the oracle obviously right)
+        table = tables[0]
+        agg_col = {"call": "call.region", "business": "business.pnum", "package": "package.year"}[table]
+        select = rng.choice(
+            [
+                "COUNT(*)",
+                f"COUNT(DISTINCT {agg_col})",
+                f"MIN({agg_col}), MAX({agg_col})",
+            ]
+        )
+        sql = f"SELECT {select} FROM {table} WHERE {where}"
+    elif shape < 0.4 and "call" in tables:
+        # GROUP BY with an aggregate
+        sql = (
+            f"SELECT call.region, COUNT(*) AS n FROM {', '.join(tables)} "
+            f"WHERE {where} GROUP BY call.region"
+        )
+    else:
+        columns = {
+            "call": ["call.region", "call.recnum", "call.date"],
+            "business": ["business.pnum", "business.type"],
+            "package": ["package.pid", "package.year"],
+        }
+        pool = [c for t in tables for c in columns[t]]
+        selected = rng.sample(pool, rng.randint(1, min(3, len(pool))))
+        distinct = "DISTINCT " if rng.random() < 0.4 else ""
+        sql = f"SELECT {distinct}{', '.join(selected)} FROM {', '.join(tables)} WHERE {where}"
+        if rng.random() < 0.25:
+            limit = rng.randint(1, 5)
+            sql += f" LIMIT {limit}"
+    return sql, limit
+
+
+# --------------------------------------------------------------------------- #
+# the oracle comparison
+# --------------------------------------------------------------------------- #
+def _normalise(rows) -> list[tuple]:
+    return [
+        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+
+
+def assert_matches_oracle(db: Database, result, sql: str, limit: int | None) -> None:
+    """Compare one BEAS result against the brute-force reference."""
+    global _SCENARIOS
+    oracle_sql = sql
+    if limit is not None:
+        oracle_sql = sql[: sql.rfind(" LIMIT ")]  # compare by containment
+    reference = _normalise(reference_execute(db, oracle_sql))
+    rows = _normalise(result.rows)
+
+    set_semantics = (
+        result.mode is ExecutionMode.BOUNDED and not result.decision.bag_exact
+    )
+    if limit is not None:
+        base = sorted(set(reference)) if set_semantics else reference
+        assert len(rows) == min(limit, len(base)), (sql, rows, base)
+        assert not (Counter(rows) - Counter(base)), (sql, rows, base)
+        assert len(set(rows)) == len(rows) if set_semantics else True
+    elif set_semantics:
+        assert set(rows) == set(reference), (sql, rows, reference)
+        assert len(set(rows)) == len(rows), (sql, rows)
+    else:
+        assert Counter(rows) == Counter(reference), (sql, rows, reference)
+    _SCENARIOS += 1
+
+
+def _maintenance_round(rng: random.Random, server, next_id: int) -> int:
+    """One random interleaved insert/delete round through the server."""
+    beas = server.beas
+    for _ in range(rng.randint(1, 2)):
+        action = rng.random()
+        try:
+            if action < 0.5:
+                rows = [
+                    (
+                        next_id + i,
+                        rng.choice(PNUMS),
+                        rng.choice(RECNUMS),
+                        rng.choice(DATES),
+                        rng.choice(REGIONS),
+                    )
+                    for i in range(rng.randint(1, 3))
+                ]
+                next_id += len(rows)
+                server.insert("call", rows)
+            elif action < 0.75:
+                year = rng.choice([2015, 2016])
+                server.insert(
+                    "package",
+                    [
+                        (
+                            1000 + next_id,
+                            rng.choice(PNUMS),
+                            rng.choice(PIDS),
+                            f"{year}-03-01",
+                            f"{year}-11-30",
+                            year,
+                        )
+                    ],
+                )
+                next_id += 1
+            else:
+                table = beas.database.table(rng.choice(["call", "package"]))
+                if table.rows:
+                    victims = rng.sample(
+                        table.rows, min(len(table.rows), rng.randint(1, 2))
+                    )
+                    server.delete(table.schema.name, victims)
+        except MaintenanceError:
+            pass  # REJECT policy refused a violating batch: state unchanged
+    return next_id
+
+
+# --------------------------------------------------------------------------- #
+EXAMPLE1_SEEDS = 24
+EXAMPLE1_SCENARIOS_PER_SEED = 18  # 4 queries x 2 runs + 2 rounds x (4 + 1)
+TLC_SEEDS = 5
+TLC_SCENARIOS_PER_SEED = 9  # 3 queries x 2 runs + 3 after maintenance
+
+
+@pytest.mark.parametrize("seed", range(EXAMPLE1_SEEDS))
+def test_example1_differential(seed: int):
+    before = _SCENARIOS
+    rng = random.Random(987_001 + seed)
+    db = random_example1_db(rng)
+    beas = BEAS(db, example1_access_schema())
+    server = beas.serve()
+    queries = [random_example1_query(rng) for _ in range(4)]
+    prepared = [server.prepare(sql) for sql, _ in queries]
+
+    # cold + warm (cache-served) runs against the oracle
+    for (sql, limit), handle in zip(queries, prepared):
+        assert_matches_oracle(db, server.execute(sql), sql, limit)
+        warm = handle.execute()
+        assert_matches_oracle(db, warm, sql, limit)
+
+    # interleaved maintenance, then the same prepared queries again:
+    # every answer must reflect the *new* data
+    next_id = 10_000
+    for round_index in range(2):
+        next_id = _maintenance_round(rng, server, next_id)
+        for (sql, limit), handle in zip(queries, prepared):
+            assert_matches_oracle(db, handle.execute(), sql, limit)
+        # exercise the conventional path on one query per round too
+        sql, limit = queries[round_index % len(queries)]
+        conventional = beas.execute(sql, allow_partial=False)
+        assert_matches_oracle(db, conventional, sql, limit)
+    assert _SCENARIOS - before == EXAMPLE1_SCENARIOS_PER_SEED
+
+
+# --------------------------------------------------------------------------- #
+# the TLC schema (truncated instance so the oracle stays affordable)
+# --------------------------------------------------------------------------- #
+def truncated_tlc_db(source_db: Database, rng: random.Random) -> Database:
+    keep = {"call": 80, "package": 50, "business": 40, "sms": 40, "customer": 40}
+    db = Database(tlc_schema())
+    for table in source_db:
+        name = table.schema.name
+        rows = table.rows[: keep.get(name, 10)]
+        for row in rows:
+            db.insert(name, row)
+    return db
+
+
+def random_tlc_query(rng: random.Random, db: Database) -> tuple[str, int | None]:
+    calls = db.table("call").rows
+    pnum = rng.choice(calls)[1] if calls else "P0000001"
+    date = rng.choice(calls)[3] if calls else "2016-06-01"
+    kind = rng.random()
+    if kind < 0.35:
+        return (
+            f"SELECT DISTINCT recnum, region FROM call "
+            f"WHERE pnum = '{pnum}' AND date = '{date}'",
+            None,
+        )
+    if kind < 0.55:
+        return (
+            f"SELECT COUNT(DISTINCT region) FROM call WHERE pnum = '{pnum}'",
+            None,
+        )
+    if kind < 0.8:
+        businesses = db.table("business").rows
+        btype = rng.choice(businesses)[1] if businesses else "bank"
+        return (
+            f"SELECT business.pnum, package.pid FROM business, package "
+            f"WHERE business.pnum = package.pnum AND business.type = '{btype}' "
+            f"AND package.year = 2016",
+            None,
+        )
+    limit = rng.randint(1, 4)
+    return (
+        f"SELECT call.recnum FROM call WHERE call.date = '{date}' LIMIT {limit}",
+        limit,
+    )
+
+
+@pytest.mark.parametrize("seed", range(TLC_SEEDS))
+def test_tlc_differential(seed: int, tlc_small):
+    before = _SCENARIOS
+    rng = random.Random(123_400 + seed)
+    db = truncated_tlc_db(tlc_small.database, rng)
+    beas = BEAS(db, tlc_access_schema())
+    server = beas.serve()
+    queries = [random_tlc_query(rng, db) for _ in range(3)]
+    for sql, limit in queries:
+        assert_matches_oracle(db, server.execute(sql), sql, limit)
+        assert_matches_oracle(db, server.execute(sql), sql, limit)  # cached
+
+    # delete a few call rows through the serving layer, re-compare
+    victims = rng.sample(db.table("call").rows, 3)
+    server.delete("call", victims)
+    for sql, limit in queries:
+        assert_matches_oracle(db, server.execute(sql), sql, limit)
+    assert _SCENARIOS - before == TLC_SCENARIOS_PER_SEED
+
+
+def test_scenario_floor():
+    """The acceptance bar: a full run covers at least 200 scenarios.
+
+    Each parametrized test above asserts it performed exactly its share
+    (so this arithmetic cannot drift from reality), which keeps this
+    check independent of test selection order.
+    """
+    total = (
+        EXAMPLE1_SEEDS * EXAMPLE1_SCENARIOS_PER_SEED
+        + TLC_SEEDS * TLC_SCENARIOS_PER_SEED
+    )
+    assert total >= 200, f"configured for only {total} differential scenarios"

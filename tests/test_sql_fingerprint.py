@@ -1,0 +1,76 @@
+"""Stable fingerprinting: equal up to presentation, distinct otherwise."""
+
+from __future__ import annotations
+
+from repro.sql.fingerprint import (
+    canonical_sql,
+    statement_fingerprint,
+    statement_tables,
+)
+from repro.sql.parser import parse
+
+
+class TestFingerprintStability:
+    def test_whitespace_and_case_insensitive(self):
+        a = "select region from call where pnum = '1'"
+        b = "SELECT   region\nFROM call\nWHERE pnum = '1'"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_and_conjunct_order_irrelevant(self):
+        a = "SELECT region FROM call WHERE pnum = '1' AND date = 'd' AND region = 'r'"
+        b = "SELECT region FROM call WHERE region = 'r' AND pnum = '1' AND date = 'd'"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_nested_and_flattened(self):
+        a = "SELECT a FROM r WHERE (a = 1 AND b = 2) AND c = 3"
+        b = "SELECT a FROM r WHERE c = 3 AND (b = 2 AND a = 1)"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_in_list_order_irrelevant(self):
+        a = "SELECT a FROM r WHERE a IN (3, 1, 2)"
+        b = "SELECT a FROM r WHERE a IN (1, 2, 3)"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_or_order_is_preserved(self):
+        """OR is commutative too, but we only canonicalise AND chains —
+        a missed equivalence is just a cache miss, never a wrong answer."""
+        a = "SELECT a FROM r WHERE a = 1 OR b = 2"
+        b = "SELECT a FROM r WHERE b = 2 OR a = 1"
+        assert statement_fingerprint(a) != statement_fingerprint(b)
+
+    def test_different_constants_differ(self):
+        a = "SELECT region FROM call WHERE pnum = '1'"
+        b = "SELECT region FROM call WHERE pnum = '2'"
+        assert statement_fingerprint(a) != statement_fingerprint(b)
+
+    def test_distinct_flag_differs(self):
+        a = "SELECT region FROM call WHERE pnum = '1'"
+        b = "SELECT DISTINCT region FROM call WHERE pnum = '1'"
+        assert statement_fingerprint(a) != statement_fingerprint(b)
+
+    def test_canonical_sql_round_trips(self):
+        sql = "SELECT a FROM r WHERE b = 2 AND a IN (2, 1) AND c LIKE 'x%'"
+        canonical = canonical_sql(sql)
+        assert canonical_sql(canonical) == canonical
+        assert statement_fingerprint(canonical) == statement_fingerprint(sql)
+
+    def test_set_operations_fingerprint(self):
+        a = "SELECT a FROM r WHERE b = 1 AND a = 2 UNION SELECT a FROM s"
+        b = "SELECT a FROM r WHERE a = 2 AND b = 1 UNION SELECT a FROM s"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+
+class TestStatementTables:
+    def test_plain_select(self):
+        assert statement_tables(parse("SELECT a FROM r, s WHERE r.a = s.a")) == {
+            "r",
+            "s",
+        }
+
+    def test_joins_and_aliases(self):
+        stmt = parse("SELECT x.a FROM r AS x JOIN s ON x.a = s.a")
+        assert statement_tables(stmt) == {"r", "s"}
+
+    def test_set_operation(self):
+        stmt = parse("SELECT a FROM r UNION SELECT a FROM t")
+        assert statement_tables(stmt) == {"r", "t"}
