@@ -7,7 +7,9 @@ setting:
 1. prepare the Example 2 query — parsed, fingerprinted, and its
    constant slots extracted exactly once;
 2. execute it repeatedly: the first run pins the coverage decision and
-   bounded plan, later runs are result-cache hits;
+   bounded plan, the second sighting admits the result to the cache
+   (admit-on-second-hit keeps one-off queries from churning the LRU),
+   later runs are result-cache hits;
 3. rebind the template's parameter slots (``call.date``,
    ``business.type``) — one template, many bindings;
 4. run a maintenance batch and observe per-table invalidation: the
@@ -46,6 +48,8 @@ start = time.perf_counter()
 first = prepared.execute()
 cold_ms = (time.perf_counter() - start) * 1000
 
+prepared.execute()  # second sighting: admitted to the result cache
+
 start = time.perf_counter()
 again = prepared.execute()
 warm_ms = (time.perf_counter() - start) * 1000
@@ -72,7 +76,8 @@ package_query = server.prepare(
     "SELECT pid FROM package WHERE pnum = '100' AND year = 2016",
     name="packages-of-100",
 )
-package_query.execute()  # cached; depends only on `package`
+package_query.execute()
+package_query.execute()  # second sighting: cached; depends only on `package`
 
 server.insert("call", [(800, "100", "555", "2016-06-01", "harbor")])
 

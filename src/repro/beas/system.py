@@ -27,6 +27,7 @@ import threading
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.async_server import AsyncBEASServer
     from repro.serving.prepared import PreparedQuery
     from repro.serving.server import BEASServer
 
@@ -218,9 +219,15 @@ class BEAS:
     def serve(self, **cache_options) -> "BEASServer":
         """The serving layer over this instance (created once, memoised).
 
+        The server is **sharded by table**: prepared executes take read
+        locks only on their dependency tables and maintenance takes one
+        table's write lock, so traffic on disjoint tables proceeds in
+        parallel (pass ``sharded=False`` for the single-lock baseline).
+
         Keyword options (``result_cache_entries``, ``result_cache_bytes``,
-        …) are forwarded to :class:`~repro.serving.server.BEASServer` on
-        first use; pass them on the first call.
+        ``sharded``, ``decision_stripes``, ``result_admission``, …) are
+        forwarded to :class:`~repro.serving.server.BEASServer` on first
+        use; pass them on the first call.
         """
         with self._serve_lock:
             if self._server is None:
@@ -234,6 +241,28 @@ class BEAS:
                     "directly"
                 )
             return self._server
+
+    def serve_async(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        admission_limit: Optional[int] = None,
+        **cache_options,
+    ) -> "AsyncBEASServer":
+        """An asyncio front end over the (shared) serving layer.
+
+        Each call builds a fresh front end — its bounded worker pool and
+        per-shard maintenance queues belong to the caller's event loop —
+        but every front end drives the same memoised sharded
+        :class:`~repro.serving.server.BEASServer`, so caches are shared.
+        """
+        from repro.serving.async_server import AsyncBEASServer
+
+        return AsyncBEASServer(
+            self.serve(**cache_options),
+            max_workers=max_workers,
+            admission_limit=admission_limit,
+        )
 
     def prepare(self, sql: str, name: Optional[str] = None) -> "PreparedQuery":
         """Prepare a query template on the default serving layer."""
@@ -256,8 +285,8 @@ class BEAS:
         )
         manager = MaintenanceManager(self.catalog, policy=policy)
         batch = manager.insert(table_name, rows)
-        self._host.invalidate_statistics()
-        for engine in self._host_engines.values():
+        # snapshot: host_engine() may add comparators concurrently
+        for engine in list(self._host_engines.values()):
             engine.invalidate_statistics()
         return batch
 
@@ -267,8 +296,7 @@ class BEAS:
 
         manager = MaintenanceManager(self.catalog)
         batch = manager.delete(table_name, rows)
-        self._host.invalidate_statistics()
-        for engine in self._host_engines.values():
+        for engine in list(self._host_engines.values()):
             engine.invalidate_statistics()
         return batch
 

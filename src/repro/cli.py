@@ -15,7 +15,10 @@ offers the same interactions:
 * ``conform``  — verify that the data conforms to an access schema
 * ``serve-stats`` — run one query repeatedly through the prepared-query
   serving layer (``repro.serving``) and report per-cache hit/miss/eviction
-  counters plus the cold-vs-warm latency split
+  counters plus the cold-vs-warm latency split; with ``--threads N`` the
+  query is also hammered from N concurrent clients and the per-shard
+  lock-wait/contention counters are reported (``--baseline`` compares
+  against the single-lock server)
 
 Databases load from a directory of ``*.csv`` files (the format written by
 ``repro.storage.dump_csv``: ``name:type`` headers) and/or ``*.sql``
@@ -179,19 +182,21 @@ def _parse_params(raw: Optional[Sequence[str]], slots) -> dict:
 
 
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    import threading
     import time
 
     beas = _build_beas(args)
-    server = beas.serve()
+    server = beas.serve(sharded=not args.baseline)
     prepared = server.prepare(_read_query(args), name="cli-query")
     params = _parse_params(args.param, prepared.slots) or None
     if prepared.slots:
         print("slots: " + "; ".join(
             prepared.slots[name].describe() for name in sorted(prepared.slots)
         ))
+    repeats = max(args.repeat, 1)
     latencies: list[float] = []
     result = None
-    for _ in range(max(args.repeat, 1)):
+    for _ in range(repeats):
         start = time.perf_counter()
         result = prepared.execute(params, budget=args.budget)
         latencies.append(time.perf_counter() - start)
@@ -206,6 +211,40 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
         f"warm median {sorted(warm)[len(warm) // 2] * 1000:.3f} ms "
         f"over {len(warm)} runs"
     )
+    if args.threads > 1:
+        # hammer the steady-state path from N client threads and report
+        # aggregate throughput plus the per-shard contention counters
+        barrier = threading.Barrier(args.threads)
+        errors: list[Exception] = []
+
+        def client() -> None:
+            try:
+                barrier.wait()
+                for _ in range(repeats):
+                    prepared.execute(params, budget=args.budget)
+            except Exception as error:  # noqa: BLE001 - reported below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client) for _ in range(args.threads)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise ReproError(
+                f"{len(errors)} of {args.threads} client threads failed; "
+                f"first error: {errors[0]}"
+            )
+        total = args.threads * repeats
+        print(
+            f"concurrent: {total} executes across {args.threads} threads "
+            f"in {elapsed * 1000:.1f} ms "
+            f"({total / max(elapsed, 1e-9):,.0f} ops/s aggregate)"
+        )
     print(server.stats().describe())
     return 0
 
@@ -294,6 +333,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="bind a template slot, e.g. --param call.date=2016-06-02 "
         "(repeatable; comma-separate multiple values for IN)",
+    )
+    serve_stats.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="also hammer the query from N concurrent client threads and "
+        "report aggregate throughput + per-shard lock-wait counters",
+    )
+    serve_stats.add_argument(
+        "--baseline",
+        action="store_true",
+        help="serve through the single-lock (unsharded) baseline server",
     )
     serve_stats.set_defaults(handler=_cmd_serve_stats)
 

@@ -55,7 +55,9 @@ class ConventionalEngine:
         self._stats_cache: dict[str, tuple[int, TableStatistics]] = {}
 
     # ------------------------------------------------------------------ #
-    def statistics(self) -> dict[str, TableStatistics]:
+    def statistics(
+        self, tables: "set[str] | frozenset[str] | None" = None
+    ) -> dict[str, TableStatistics]:
         """Per-table statistics, cached until the table is mutated.
 
         Keyed on :attr:`Table.version` (a monotonic mutation counter), not
@@ -63,10 +65,17 @@ class ConventionalEngine:
         cardinality unchanged still invalidates, so engines created at any
         point — including after updates routed around the BEAS facade —
         always see fresh statistics.
+
+        With ``tables``, only those relations are profiled. The sharded
+        serving layer relies on this: a query holds read locks only on
+        its own dependency tables, so planning it must not scan the rows
+        of unrelated tables that may be mid-mutation.
         """
         stats: dict[str, TableStatistics] = {}
         for table in self.database:
             name = table.schema.name
+            if tables is not None and name not in tables:
+                continue
             cached = self._stats_cache.get(name)
             if cached is not None and cached[0] == table.version:
                 stats[name] = cached[1]
@@ -91,7 +100,10 @@ class ConventionalEngine:
             right = self._plan_statement(statement.right)
             return SetOpNode(statement.op, left, right, statement.all)
         cq = normalize(statement, self.database.schema)
-        return plan_conjunctive_query(cq, self.statistics())
+        # the planner only consults statistics for the query's own tables
+        return plan_conjunctive_query(
+            cq, self.statistics(set(cq.occurrences.values()))
+        )
 
     def explain(self, query: Union[str, ast.Statement]) -> str:
         return explain(self.plan(query))

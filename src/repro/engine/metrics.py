@@ -36,6 +36,13 @@ class ExecutionMetrics:
     cache_hits: int = 0  # serving-cache hits while answering this request
     cache_misses: int = 0  # serving-cache misses while answering this request
     served_from_cache: bool = False  # rows came from the result cache
+    # --- sharded-serving counters: per-request concurrency events ---
+    lock_wait_seconds: float = 0.0  # time blocked on schema + shard locks
+    # the consistent per-table data-version vector this answer was computed
+    # under (read while holding every dependency shard's read lock); lets
+    # callers — and the concurrent differential fuzz — pin the exact
+    # snapshot an answer reflects
+    table_versions: dict[str, int] = field(default_factory=dict)
 
     @property
     def tuples_accessed(self) -> int:

@@ -34,12 +34,20 @@ class ViolationPolicy(enum.Enum):
 
 @dataclass
 class UpdateBatch:
-    """Summary of one applied batch."""
+    """Summary of one applied batch.
+
+    ``table_version`` is the table's :attr:`~repro.storage.table.Table.
+    version` after the batch committed — the data generation every
+    result computed over this batch carries. Concurrent clients (and the
+    differential fuzz harness) use it to pin which snapshot an answer
+    reflects.
+    """
 
     table: str
     inserted: int = 0
     deleted: int = 0
     adjusted_constraints: list[str] = field(default_factory=list)
+    table_version: int = 0
 
 
 class MaintenanceManager:
@@ -89,6 +97,7 @@ class MaintenanceManager:
 
         if self.policy is ViolationPolicy.ADJUST:
             batch.adjusted_constraints = self._adjust_bounds(constraints)
+        batch.table_version = table.version
         return batch
 
     def _rollback_inserts(
@@ -153,4 +162,6 @@ class MaintenanceManager:
             index = self._catalog.index_for(constraint)
             for row in removed:
                 index.delete_row(row)
-        return UpdateBatch(table=table_name, deleted=len(removed))
+        return UpdateBatch(
+            table=table_name, deleted=len(removed), table_version=table.version
+        )

@@ -4,38 +4,64 @@ BEAS's promise — answers under a fixed access bound regardless of
 ``|D|`` — fits repeated analytic workloads, but the seed prototype paid
 parse + normalize + BE Checker cost on every ``BEAS.execute()``. This
 package amortises that cost behind prepared statements and a multi-level
-cache hierarchy:
+cache hierarchy, partitioned by table so concurrent traffic scales:
 
 * :class:`~repro.serving.prepared.PreparedQuery` — parse/fingerprint
   once, parameterised constant slots, per-binding memoisation;
-* :class:`~repro.serving.server.BEASServer` — parse / coverage-decision
-  / result caches with maintenance-aware invalidation (access-schema
+* :class:`~repro.serving.server.BEASServer` — the **sharded** serving
+  core: per-table reader/writer locks over table data + access indices
+  + result-cache slices, a striped coverage-decision cache, ordered
+  multi-shard read locking for joins, and admit-on-second-hit result
+  admission — all with maintenance-aware invalidation (access-schema
   generation + per-table data versions);
+* :class:`~repro.serving.async_server.AsyncBEASServer` — the asyncio
+  front end: bounded worker pool, admission control, per-shard
+  maintenance queues with batched draining;
+* :class:`~repro.serving.shard.TableShard` / ``ShardLock`` /
+  ``StripedCache`` — the sharding primitives;
 * :class:`~repro.serving.cache.LRUCache` / ``CacheStats`` — the shared
   budgeted-LRU primitive and its counters.
 
-Entry point::
+Entry points::
 
-    server = beas.serve()
+    server = beas.serve()                       # sharded, thread-safe
     pq = server.prepare("SELECT ... WHERE call.date = '2016-06-01' ...")
     r1 = pq()                                   # cold: plan pinned
-    r2 = pq()                                   # warm: result-cache hit
+    r2 = pq()                                   # admitted to the cache
     r3 = pq({"call.date": "2016-06-02"})        # new binding, same template
-    print(server.stats().describe())
+    print(server.stats().describe())            # incl. per-shard counters
+
+    aserver = beas.serve_async()                # asyncio front end
+    results = await asyncio.gather(*(aserver.execute(q) for q in queries))
 """
 
+from repro.serving.async_server import AsyncBEASServer, AsyncServingStats
 from repro.serving.cache import CacheStats, LRUCache, approx_size
 from repro.serving.params import ParameterSlot, extract_slots, substitute
 from repro.serving.prepared import PreparedQuery
 from repro.serving.server import BEASServer, ServingStats
+from repro.serving.shard import (
+    LockStats,
+    ShardLock,
+    ShardStats,
+    StripedCache,
+    TableShard,
+)
 
 __all__ = [
+    "AsyncBEASServer",
+    "AsyncServingStats",
     "BEASServer",
     "CacheStats",
+    "LockStats",
     "LRUCache",
     "ParameterSlot",
     "PreparedQuery",
     "ServingStats",
+    "ShardLock",
+    "ShardStats",
+    "StripedCache",
+    "TableShard",
     "approx_size",
     "extract_slots",
     "substitute",

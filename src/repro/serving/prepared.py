@@ -12,6 +12,7 @@ normalizer, nor the BE Checker.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Mapping, Optional
 
@@ -59,6 +60,9 @@ class PreparedQuery:
         self._bindings: OrderedDict[tuple, tuple[ast.Statement, str]] = (
             OrderedDict()
         )
+        # one handle is shared by every thread executing the template;
+        # the memo's OrderedDict reordering is not safe bare
+        self._bindings_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def bind(
@@ -75,16 +79,23 @@ class PreparedQuery:
         schema = self._server.database.schema
         resolved = resolve_overrides(params, self.slots, self.statement, schema)
         signature = binding_signature(resolved)
-        cached = self._bindings.get(signature)
-        if cached is not None:
-            self._bindings.move_to_end(signature)
-            return cached
+        with self._bindings_lock:
+            cached = self._bindings.get(signature)
+            if cached is not None:
+                self._bindings.move_to_end(signature)
+                return cached
         statement = substitute(self.statement, resolved, schema)
         fingerprint = statement_fingerprint(statement)
-        self._bindings[signature] = (statement, fingerprint)
-        while len(self._bindings) > _BINDING_CACHE_LIMIT:
-            self._bindings.popitem(last=False)
+        with self._bindings_lock:
+            self._bindings[signature] = (statement, fingerprint)
+            while len(self._bindings) > _BINDING_CACHE_LIMIT:
+                self._bindings.popitem(last=False)
         return statement, fingerprint
+
+    def clear_bindings(self) -> None:
+        """Drop the per-binding memo (``BEASServer.reset_caches``)."""
+        with self._bindings_lock:
+            self._bindings.clear()
 
     # ------------------------------------------------------------------ #
     def execute(

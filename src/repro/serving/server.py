@@ -1,4 +1,4 @@
-"""The prepared-query serving layer: ``BEASServer``.
+"""The prepared-query serving layer: the sharded ``BEASServer``.
 
 Wraps one :class:`~repro.beas.system.BEAS` instance with the machinery a
 high-traffic deployment needs to amortise per-query frontend cost:
@@ -12,29 +12,44 @@ high-traffic deployment needs to amortise per-query frontend cost:
   (:attr:`~repro.storage.table.Table.version`) so an insert into
   ``call`` never evicts results computed over ``package`` only.
 
-Maintenance-awareness: the access-schema generation
-(:attr:`~repro.access.catalog.ASCatalog.schema_generation`, bumped by
-``register``/``unregister`` and by constraint-bound adjustments) flushes
-the decision *and* result caches — a schema change can flip the
-execution mode, and a non-bag-exact bounded answer (set semantics) need
-not equal a conventional one (bag semantics). Data updates routed
-through :class:`~repro.maintenance.incremental.MaintenanceManager` (or
-any path that mutates a :class:`~repro.storage.table.Table`) bump the
-affected table's version; the server sweeps dependent result entries on
-the next request and additionally validates every hit against the
-current versions, so a stale row can never be served.
+Concurrency model (the sharded architecture):
 
-All public entry points serialise on one reentrant lock: the in-memory
-engines are not internally thread-safe, and the lock makes a mixed
-query/maintenance workload linearisable (see the thread-safety smoke
-test).
+* Server state is **partitioned by table**: each table gets a
+  :class:`~repro.serving.shard.TableShard` holding a reader/writer lock
+  over the table's rows + access indices and this table's slice of the
+  result cache. Single-table queries and maintenance batches on
+  disjoint tables proceed fully in parallel; a multi-table join takes
+  read locks on every dependency shard in **canonical table order**
+  (deadlock-free), so its answer is computed against one consistent
+  table-version vector — no torn reads across shards.
+* The parse and decision caches are **lock-striped**
+  (:class:`~repro.serving.shard.StripedCache`), keyed by text /
+  fingerprint, so hot traffic on distinct queries does not serialise on
+  one mutex.
+* A coarse **schema lock** is held for read by every request and for
+  write only by ``register``/``unregister`` — access-schema changes are
+  rare and flush the decision + result caches wholesale.
+* Cached results additionally record the access-schema generation and
+  the exact table-version vector they were computed under; a hit is
+  served only when both still match the live values, so a stale row can
+  never be served even when a mutation bypassed the serving layer.
+
+Result-cache admission is **admit-on-second-hit** by default (pass
+``result_admission="always"`` to restore eager admission): the first
+sighting of a (fingerprint, options) key only registers it in a
+per-shard doorkeeper, so one-off ad-hoc or fuzz queries stop churning
+the LRU; a key seen twice is cached for real.
+
+``sharded=False`` collapses every table onto a single shard and every
+stripe onto one — the global-lock baseline the concurrency benchmark
+compares against.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Any, Hashable, Mapping, Optional, Union
 
 from repro.beas.result import BEASResult, ExecutionMode
 from repro.engine.metrics import ExecutionMetrics
@@ -44,6 +59,16 @@ from repro.sql.fingerprint import statement_fingerprint, statement_tables
 from repro.sql.parser import parse
 from repro.serving.cache import CacheStats, LRUCache, approx_size
 from repro.serving.prepared import PreparedQuery
+from repro.serving.shard import (
+    LockStats,
+    ShardLock,
+    ShardStats,
+    StripedCache,
+    TableShard,
+    acquire_read_ordered,
+    order_shards,
+    release_read_ordered,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.access.constraint import AccessConstraint
@@ -51,16 +76,21 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.bounded.coverage import CoverageDecision
     from repro.maintenance.incremental import UpdateBatch
 
+#: Shard name used when ``sharded=False`` (every table maps here) and for
+#: queries with an empty dependency set.
+GLOBAL_SHARD = "__global__"
+
 
 @dataclass
 class _CachedResult:
-    """One result-cache entry plus the data generations it depends on."""
+    """One result-cache entry plus the generations it depends on."""
 
     columns: list[str]
     rows: list[tuple]
     mode: ExecutionMode
     decision: "CoverageDecision"
     table_versions: dict[str, int]
+    schema_generation: int
 
 
 def _result_size(entry: _CachedResult) -> int:
@@ -80,6 +110,24 @@ class ServingStats:
     executions: int = 0
     schema_generation: int = 0
     table_versions: dict[str, int] = field(default_factory=dict)
+    shards: dict[str, ShardStats] = field(default_factory=dict)
+    schema_lock: Optional[LockStats] = None
+    admission_declines: int = 0
+
+    @property
+    def lock_wait_seconds(self) -> float:
+        """Total time requests spent blocked on shard + schema locks."""
+        total = sum(s.lock.wait_seconds for s in self.shards.values())
+        if self.schema_lock is not None:
+            total += self.schema_lock.wait_seconds
+        return total
+
+    @property
+    def contended_acquisitions(self) -> int:
+        total = sum(s.lock.contended_acquisitions for s in self.shards.values())
+        if self.schema_lock is not None:
+            total += self.schema_lock.contended_acquisitions
+        return total
 
     def describe(self) -> str:
         lines = [
@@ -88,11 +136,16 @@ class ServingStats:
             f"  {self.decision.describe()}",
             f"  {self.result.describe()}",
             f"  result cache: {self.result_entries} entries, "
-            f"{self.result_bytes} bytes",
+            f"{self.result_bytes} bytes, "
+            f"{self.admission_declines} admissions declined",
             f"  prepared queries: {self.prepared_queries}",
             f"  executions served: {self.executions}",
             f"  access-schema generation: {self.schema_generation}",
+            f"  lock contention: {self.contended_acquisitions} contended "
+            f"acquisitions, waited {self.lock_wait_seconds * 1000:.2f} ms",
         ]
+        for name in sorted(self.shards):
+            lines.append(f"  {self.shards[name].describe()}")
         return "\n".join(lines)
 
 
@@ -107,25 +160,67 @@ class BEASServer:
         decision_cache_entries: int = 1024,
         result_cache_entries: int = 512,
         result_cache_bytes: Optional[int] = 8 << 20,
+        sharded: bool = True,
+        decision_stripes: int = 8,
+        result_admission: str = "second-hit",
     ):
+        if result_admission not in ("second-hit", "always"):
+            raise ServingError(
+                f"unknown result_admission {result_admission!r} "
+                "(expected 'second-hit' or 'always')"
+            )
         self._beas = beas
-        self._lock = threading.RLock()
-        self._parse_cache = LRUCache("parse", max_entries=parse_cache_entries)
-        self._decision_cache = LRUCache(
-            "decision", max_entries=decision_cache_entries
+        self._sharded = sharded
+        self._admission = result_admission
+        self._schema_lock = ShardLock("schema")
+        #: leaf mutex guarding prepared registry, execution counter, and
+        #: the observed schema generation
+        self._admin_lock = threading.Lock()
+        #: leaf mutex guarding the table -> {result key -> home shard}
+        #: dependency index used for cross-shard invalidation
+        self._dep_lock = threading.Lock()
+        self._dep_index: dict[str, dict[Hashable, str]] = {}
+
+        stripes = decision_stripes if sharded else 1
+        self._parse_cache = StripedCache(
+            "parse", max_entries=parse_cache_entries, stripes=min(4, stripes)
         )
-        self._result_cache = LRUCache(
-            "result",
-            max_entries=result_cache_entries,
-            max_bytes=result_cache_bytes,
-            sizeof=_result_size,
+        self._decision_cache = StripedCache(
+            "decision", max_entries=decision_cache_entries, stripes=stripes
         )
+
+        self._result_entries_budget = result_cache_entries
+        self._result_bytes_budget = result_cache_bytes
+        table_names = [table.schema.name for table in beas.database]
+        shard_names = table_names if sharded else [GLOBAL_SHARD]
+        self._shards: dict[str, TableShard] = {}
+        for name in shard_names:
+            self._shards[name] = self._new_shard(name, len(shard_names))
+        if sharded:
+            # home for queries with an empty dependency set
+            self._shards.setdefault(
+                GLOBAL_SHARD, self._new_shard(GLOBAL_SHARD, len(shard_names))
+            )
+        for shard in self._shards.values():
+            if shard.table in beas.database:
+                shard.version = beas.database.table(shard.table).version
+
         self._prepared: dict[str, PreparedQuery] = {}
         self._executions = 0
         self._schema_generation = beas.catalog.schema_generation
-        self._table_versions = {
-            table.schema.name: table.version for table in beas.database
-        }
+
+    def _new_shard(self, name: str, shard_count: int) -> TableShard:
+        entries = max(8, self._result_entries_budget // max(shard_count, 1))
+        byte_budget = self._result_bytes_budget
+        if byte_budget is not None:
+            byte_budget = max(1 << 16, byte_budget // max(shard_count, 1))
+        return TableShard(
+            name,
+            result_entries=entries,
+            result_bytes=byte_budget,
+            sizeof=_result_size,
+            admit_on_second_hit=self._admission == "second-hit",
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -136,6 +231,43 @@ class BEASServer:
     def database(self):
         return self._beas.database
 
+    @property
+    def sharded(self) -> bool:
+        return self._sharded
+
+    def shard(self, table_name: str) -> TableShard:
+        """The shard a table maps to (the global shard when unsharded).
+
+        Names that do not exist in the database map to the global shard
+        instead of minting a permanent phantom shard — the request will
+        fail with ``UnknownTableError`` downstream anyway.
+        """
+        if not self._sharded:
+            return self._shards[GLOBAL_SHARD]
+        shard = self._shards.get(table_name)
+        if shard is None:
+            if table_name not in self._beas.database:
+                return self._shards[GLOBAL_SHARD]
+            with self._admin_lock:
+                shard = self._shards.get(table_name)
+                if shard is None:  # table added after server construction
+                    shard = self._new_shard(table_name, len(self._shards))
+                    self._shards[table_name] = shard
+        return shard
+
+    def shards(self) -> dict[str, TableShard]:
+        """A snapshot of the shard map (inspection / tests)."""
+        with self._admin_lock:
+            return dict(self._shards)
+
+    def _shards_for(self, tables: frozenset[str]) -> list[TableShard]:
+        return order_shards(self.shard(name) for name in tables)
+
+    def _home_shard(self, tables: frozenset[str]) -> TableShard:
+        if not tables:
+            return self._shards[GLOBAL_SHARD]
+        return self.shard(min(tables))
+
     # ------------------------------------------------------------------ #
     # prepare
     # ------------------------------------------------------------------ #
@@ -145,8 +277,8 @@ class BEASServer:
         Preparing the same text again returns the existing handle (under
         its existing name when ``name`` is not given).
         """
-        with self._lock:
-            statement, fingerprint, tables, _ = self._frontend(sql)
+        statement, fingerprint, tables, _ = self._frontend(sql)
+        with self._admin_lock:
             for existing in self._prepared.values():
                 if existing.fingerprint == fingerprint and (
                     name is None or existing.name == name
@@ -165,14 +297,14 @@ class BEASServer:
             return prepared
 
     def prepared(self, name: str) -> PreparedQuery:
-        with self._lock:
+        with self._admin_lock:
             try:
                 return self._prepared[name]
             except KeyError:
                 raise ServingError(f"no prepared query named {name!r}") from None
 
     def prepared_names(self) -> list[str]:
-        with self._lock:
+        with self._admin_lock:
             return sorted(self._prepared)
 
     # ------------------------------------------------------------------ #
@@ -188,18 +320,17 @@ class BEASServer:
         use_result_cache: bool = True,
     ) -> BEASResult:
         """One-shot execution through the serving caches (no prepare)."""
-        with self._lock:
-            statement, fingerprint, tables, parse_hit = self._frontend(query)
-            return self._execute(
-                statement,
-                fingerprint,
-                tables,
-                budget=budget,
-                allow_partial=allow_partial,
-                approximate_over_budget=approximate_over_budget,
-                use_result_cache=use_result_cache,
-                parse_hit=parse_hit,
-            )
+        statement, fingerprint, tables, parse_hit = self._frontend(query)
+        return self._execute(
+            statement,
+            fingerprint,
+            tables,
+            budget=budget,
+            allow_partial=allow_partial,
+            approximate_over_budget=approximate_over_budget,
+            use_result_cache=use_result_cache,
+            parse_hit=parse_hit,
+        )
 
     def execute_prepared(
         self,
@@ -212,30 +343,31 @@ class BEASServer:
         use_result_cache: bool = True,
     ) -> BEASResult:
         """Execute a prepared query (by handle or name) for one binding."""
-        with self._lock:
-            if isinstance(prepared, str):
-                prepared = self.prepared(prepared)
-            statement, fingerprint = prepared.bind(params)
-            return self._execute(
-                statement,
-                fingerprint,
-                prepared.tables,
-                budget=budget,
-                allow_partial=allow_partial,
-                approximate_over_budget=approximate_over_budget,
-                use_result_cache=use_result_cache,
-                parse_hit=True,  # the template parse is amortised
-            )
+        if isinstance(prepared, str):
+            prepared = self.prepared(prepared)
+        statement, fingerprint = prepared.bind(params)
+        return self._execute(
+            statement,
+            fingerprint,
+            prepared.tables,
+            budget=budget,
+            allow_partial=allow_partial,
+            approximate_over_budget=approximate_over_budget,
+            use_result_cache=use_result_cache,
+            parse_hit=True,  # the template parse is amortised
+        )
 
     def check(
         self, query: Union[str, ast.Statement], budget: Optional[int] = None
     ) -> "CoverageDecision":
         """The (cached) BE Checker outcome for a query."""
-        with self._lock:
-            statement, fingerprint, _, _ = self._frontend(query)
-            self._sync_generations()
-            decision, _ = self._decision(statement, fingerprint)
-            return self._with_budget(decision, budget)
+        statement, fingerprint, _, _ = self._frontend(query)
+        with self._schema_lock.read():
+            # observed under the read lock: a completed register/unregister
+            # (write section) is guaranteed visible here
+            generation = self._observe_schema_generation()
+            decision, _ = self._decision(statement, fingerprint, generation)
+        return self._with_budget(decision, budget)
 
     def check_prepared(
         self,
@@ -244,70 +376,164 @@ class BEASServer:
         *,
         budget: Optional[int] = None,
     ) -> "CoverageDecision":
-        with self._lock:
-            if isinstance(prepared, str):
-                prepared = self.prepared(prepared)
-            statement, fingerprint = prepared.bind(params)
-            self._sync_generations()
-            decision, _ = self._decision(statement, fingerprint)
-            return self._with_budget(decision, budget)
+        if isinstance(prepared, str):
+            prepared = self.prepared(prepared)
+        statement, fingerprint = prepared.bind(params)
+        with self._schema_lock.read():
+            generation = self._observe_schema_generation()
+            decision, _ = self._decision(statement, fingerprint, generation)
+        return self._with_budget(decision, budget)
 
     # ------------------------------------------------------------------ #
-    # maintenance passthroughs (serialised with query execution)
+    # maintenance (per-shard write locks; disjoint tables run in parallel)
     # ------------------------------------------------------------------ #
     def insert(
         self, table_name: str, rows, *, adjust_bounds: bool = False
     ) -> "UpdateBatch":
-        with self._lock:
-            batch = self._beas.insert(
+        return self._maintain(
+            table_name,
+            lambda: self._beas.insert(
                 table_name, rows, adjust_bounds=adjust_bounds
-            )
-            self._sync_generations()
-            return batch
+            ),
+        )
 
     def delete(self, table_name: str, rows) -> "UpdateBatch":
-        with self._lock:
-            batch = self._beas.delete(table_name, rows)
-            self._sync_generations()
-            return batch
+        return self._maintain(
+            table_name, lambda: self._beas.delete(table_name, rows)
+        )
+
+    def _maintain(self, table_name: str, apply) -> "UpdateBatch":
+        self._observe_schema_generation()
+        self._schema_lock.acquire_read()
+        try:
+            # raises UnknownTableError before any shard state is touched
+            self._beas.database.table(table_name)
+            shard = self.shard(table_name)
+            shard.lock.acquire_write()
+            try:
+                try:
+                    batch = apply()
+                finally:
+                    # even a rejected (rolled-back) batch bumps
+                    # Table.version, so dependent entries must still go
+                    self._after_table_write(table_name, shard)
+            finally:
+                shard.lock.release_write()
+        finally:
+            self._schema_lock.release_read()
+        # an ADJUST batch may have widened a bound (schema generation)
+        self._observe_schema_generation()
+        return batch
+
+    def _after_table_write(self, table_name: str, shard: TableShard) -> None:
+        try:
+            version = self._beas.database.table(table_name).version
+        except Exception:  # pragma: no cover - table dropped mid-batch
+            version = shard.version + 1
+        shard.note_maintenance(version)
+        self._invalidate_dependents(table_name)
+
+    def _invalidate_dependents(self, table_name: str) -> None:
+        """Drop every cached result depending on ``table_name``, wherever
+        its home shard is. Runs under the table's write lock, so no new
+        dependent entry can appear concurrently (any query depending on
+        the table would need its read lock)."""
+        with self._dep_lock:
+            dependents = self._dep_index.pop(table_name, None)
+        if not dependents:
+            return
+        by_home: dict[str, list[Hashable]] = {}
+        for key, home in dependents.items():
+            by_home.setdefault(home, []).append(key)
+        for home, keys in by_home.items():
+            home_shard = self._shards.get(home)
+            if home_shard is not None:
+                home_shard.invalidate_keys(keys)
+
+    def _register_dependents(
+        self, key: Hashable, tables: frozenset[str], home: str
+    ) -> None:
+        with self._dep_lock:
+            for table in tables:
+                index = self._dep_index.setdefault(table, {})
+                index[key] = home
+                # prune dangling refs left by capacity evictions
+                if len(index) > 4 * max(self._result_entries_budget, 1):
+                    live = {
+                        k: h
+                        for k, h in index.items()
+                        if (shard := self._shards.get(h)) is not None
+                        and shard.contains(k)
+                    }
+                    self._dep_index[table] = live
 
     def register(
         self, constraint: "AccessConstraint", *, validate: bool = True
     ) -> None:
-        with self._lock:
+        with self._schema_lock.write():
             self._beas.register(constraint, validate=validate)
-            self._sync_generations()
+        self._observe_schema_generation()
 
     def unregister(self, constraint_name: str) -> None:
-        with self._lock:
+        with self._schema_lock.write():
             self._beas.unregister(constraint_name)
-            self._sync_generations()
+        self._observe_schema_generation()
 
     # ------------------------------------------------------------------ #
     # stats
     # ------------------------------------------------------------------ #
     def stats(self) -> ServingStats:
-        with self._lock:
-            return ServingStats(
-                parse=replace(self._parse_cache.stats),
-                decision=replace(self._decision_cache.stats),
-                result=replace(self._result_cache.stats),
-                result_entries=len(self._result_cache),
-                result_bytes=self._result_cache.current_bytes,
-                prepared_queries=len(self._prepared),
-                executions=self._executions,
-                schema_generation=self._schema_generation,
-                table_versions=dict(self._table_versions),
-            )
+        self._observe_schema_generation()
+        shards = self.shards()
+        snapshots: dict[str, ShardStats] = {}
+        result = CacheStats("result")
+        entries = 0
+        size = 0
+        declines = 0
+        live_versions: dict[str, int] = {
+            table.schema.name: table.version for table in self._beas.database
+        }
+        for name, shard in shards.items():
+            snap = shard.snapshot(live_versions.get(name, shard.version))
+            snapshots[name] = snap
+            result.hits += snap.cache.hits
+            result.misses += snap.cache.misses
+            result.evictions += snap.cache.evictions
+            result.invalidations += snap.cache.invalidations
+            entries += snap.entries
+            size += snap.bytes
+            declines += snap.admission_declines
+        with self._admin_lock:
+            executions = self._executions
+            prepared_count = len(self._prepared)
+            generation = self._schema_generation
+        return ServingStats(
+            parse=self._parse_cache.stats(),
+            decision=self._decision_cache.stats(),
+            result=result,
+            result_entries=entries,
+            result_bytes=size,
+            prepared_queries=prepared_count,
+            executions=executions,
+            schema_generation=generation,
+            table_versions=live_versions,
+            shards=snapshots,
+            schema_lock=replace(self._schema_lock.stats),
+            admission_declines=declines,
+        )
 
     def reset_caches(self) -> None:
         """Drop all cached state (keeps prepared handles)."""
-        with self._lock:
-            self._parse_cache.invalidate_all()
-            self._decision_cache.invalidate_all()
-            self._result_cache.invalidate_all()
-            for prepared in self._prepared.values():
-                prepared._bindings.clear()
+        self._parse_cache.invalidate_all()
+        self._decision_cache.invalidate_all()
+        for shard in self.shards().values():
+            shard.flush()
+        with self._dep_lock:
+            self._dep_index.clear()
+        with self._admin_lock:
+            prepared = list(self._prepared.values())
+        for handle in prepared:
+            handle.clear_bindings()
 
     # ------------------------------------------------------------------ #
     # internals
@@ -332,35 +558,42 @@ class BEASServer:
         self._parse_cache.put(query, (statement, fingerprint, tables))
         return statement, fingerprint, tables, False
 
-    def _sync_generations(self) -> None:
-        """Observe schema/data generations; drop whatever they stale."""
-        catalog_generation = self._beas.catalog.schema_generation
-        if catalog_generation != self._schema_generation:
-            self._schema_generation = catalog_generation
-            self._decision_cache.invalidate_all()
-            # mode can flip (bounded set-semantics vs conventional bag
-            # semantics), so results pinned under the old schema go too
-            self._result_cache.invalidate_all()
-        changed: set[str] = set()
-        for table in self._beas.database:
-            name = table.schema.name
-            if self._table_versions.get(name) != table.version:
-                changed.add(name)
-                self._table_versions[name] = table.version
-        if changed:
-            self._result_cache.invalidate_where(
-                lambda _key, entry: bool(changed & entry.table_versions.keys())
-            )
+    def _observe_schema_generation(self) -> int:
+        """Notice access-schema changes made around ``register``/
+        ``unregister`` (bound adjustments, direct catalog calls) and
+        flush whatever they stale. Returns the current generation."""
+        generation = self._beas.catalog.schema_generation
+        if generation == self._schema_generation:
+            return generation
+        with self._admin_lock:
+            if generation == self._schema_generation:
+                return generation
+            self._schema_generation = generation
+            shards = dict(self._shards)
+        # the decision cache is keyed by (fingerprint, generation) and the
+        # result entries record their generation, so flushing here is a
+        # memory measure, not a correctness one
+        self._decision_cache.invalidate_all()
+        for shard in shards.values():
+            shard.flush()
+        with self._dep_lock:
+            self._dep_index.clear()
+        return generation
 
     def _decision(
-        self, statement: ast.Statement, fingerprint: str
+        self, statement: ast.Statement, fingerprint: str, generation: int
     ) -> tuple["CoverageDecision", bool]:
-        """The budget-free coverage decision, through the decision cache."""
-        decision = self._decision_cache.get(fingerprint)
+        """The budget-free coverage decision, through the decision cache.
+
+        Keyed by (fingerprint, access-schema generation): a decision
+        pinned under an old schema can never be served after a change.
+        """
+        key = (fingerprint, generation)
+        decision = self._decision_cache.get(key)
         if decision is not None:
             return decision, True
         decision = self._beas.check(statement)
-        self._decision_cache.put(fingerprint, decision)
+        self._decision_cache.put(key, decision)
         return decision, False
 
     @staticmethod
@@ -385,20 +618,91 @@ class BEASServer:
         use_result_cache: bool,
         parse_hit: bool,
     ) -> BEASResult:
-        self._executions += 1
-        self._sync_generations()
+        with self._admin_lock:
+            self._executions += 1
         hits = 1 if parse_hit else 0
         misses = 0 if parse_hit else 1
 
+        lock_wait = self._schema_lock.acquire_read()
+        try:
+            shards = self._shards_for(tables)
+            lock_wait += acquire_read_ordered(shards)
+            try:
+                # observed while holding the schema + shard read locks: a
+                # completed register/unregister (schema write section) and
+                # a completed adjust_bounds batch on any dependency table
+                # (its shard write section) are both visible here, so a
+                # decision or result pinned under the old schema can never
+                # be consumed by this request
+                generation = self._observe_schema_generation()
+                return self._execute_locked(
+                    statement,
+                    fingerprint,
+                    tables,
+                    shards,
+                    generation,
+                    budget=budget,
+                    allow_partial=allow_partial,
+                    approximate_over_budget=approximate_over_budget,
+                    use_result_cache=use_result_cache,
+                    hits=hits,
+                    misses=misses,
+                    lock_wait=lock_wait,
+                )
+            finally:
+                release_read_ordered(shards)
+        finally:
+            self._schema_lock.release_read()
+
+    def _execute_locked(
+        self,
+        statement: ast.Statement,
+        fingerprint: str,
+        tables: frozenset[str],
+        shards: list[TableShard],
+        generation: int,
+        *,
+        budget: Optional[int],
+        allow_partial: bool,
+        approximate_over_budget: bool,
+        use_result_cache: bool,
+        hits: int,
+        misses: int,
+        lock_wait: float,
+    ) -> BEASResult:
+        # the consistent table-version vector this request observes: read
+        # under the shard read locks, so no dependency can move under us
+        versions: dict[str, int] = {}
+        database = self._beas.database
+        for name in tables:
+            if name in database:
+                versions[name] = database.table(name).version
+        for shard in shards:
+            if shard.table in versions and shard.observe_version(
+                versions[shard.table]
+            ):
+                # the table moved around the serving layer: sweep entries
+                # homed here that depend on it (cross-homed dependents are
+                # rejected by the per-hit freshness check below)
+                moved = shard.table
+                shard.invalidate_where(
+                    lambda _key, entry: moved in entry.table_versions
+                )
+
+        home = self._home_shard(tables)
         result_key = (fingerprint, budget, allow_partial, approximate_over_budget)
         if use_result_cache:
-            entry = self._result_cache.get(result_key)
-            if entry is not None and self._entry_fresh(entry):
+            entry = home.lookup(result_key)
+            if entry is not None and self._entry_fresh(
+                entry, versions, generation
+            ):
                 metrics = ExecutionMetrics(
                     rows_output=len(entry.rows),
                     served_from_cache=True,
                     cache_hits=hits + 1,
                     cache_misses=misses,
+                    lock_wait_seconds=lock_wait,
+                    table_versions=dict(versions),
                 )
                 return BEASResult(
                     columns=list(entry.columns),
@@ -407,11 +711,11 @@ class BEASServer:
                     decision=entry.decision,
                     metrics=metrics,
                 )
-            if entry is not None:  # stale despite sync: drop defensively
-                self._result_cache.invalidate(result_key)
+            if entry is not None:  # stale despite sweeps: drop defensively
+                home.invalidate(result_key)
             misses += 1
 
-        decision, decision_hit = self._decision(statement, fingerprint)
+        decision, decision_hit = self._decision(statement, fingerprint, generation)
         hits += 1 if decision_hit else 0
         misses += 0 if decision_hit else 1
         decision = self._with_budget(decision, budget)
@@ -425,36 +729,48 @@ class BEASServer:
         )
         result.metrics.cache_hits += hits
         result.metrics.cache_misses += misses
+        result.metrics.lock_wait_seconds += lock_wait
+        result.metrics.table_versions = dict(versions)
 
         if use_result_cache and result.mode is not ExecutionMode.APPROXIMATE:
-            self._result_cache.put(
+            admitted = home.admit(
                 result_key,
                 _CachedResult(
                     columns=list(result.columns),
                     rows=list(result.rows),
                     mode=result.mode,
                     decision=decision,
-                    table_versions={
-                        name: self._table_versions.get(name, 0)
-                        for name in tables
-                    },
+                    table_versions=dict(versions),
+                    schema_generation=generation,
                 ),
             )
+            if admitted:
+                # registered while still holding every dependency's read
+                # lock: a writer invalidating one of these tables cannot
+                # run until we release, so it will see this entry
+                self._register_dependents(result_key, tables, home.table)
         return result
 
-    def _entry_fresh(self, entry: _CachedResult) -> bool:
-        """Belt-and-braces: validate a hit against the live table versions."""
-        for name, version in entry.table_versions.items():
-            try:
-                table = self._beas.database.table(name)
-            except Exception:  # table dropped: treat as stale
-                return False
-            if table.version != version:
-                return False
-        return True
+    def _entry_fresh(
+        self,
+        entry: _CachedResult,
+        versions: dict[str, int],
+        generation: int,
+    ) -> bool:
+        """A hit is served only when the entry's recorded generations all
+        equal the live ones observed under the current read locks."""
+        if entry.schema_generation != generation:
+            return False
+        if entry.table_versions.keys() != versions.keys():
+            return False
+        return all(
+            versions[name] == version
+            for name, version in entry.table_versions.items()
+        )
 
     def __repr__(self) -> str:
+        mode = "sharded" if self._sharded else "global-lock"
         return (
-            f"BEASServer({self._beas.database.name}: "
+            f"BEASServer({self._beas.database.name}: {mode}, "
             f"{len(self._prepared)} prepared, {self._executions} served)"
         )

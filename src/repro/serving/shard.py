@@ -1,0 +1,406 @@
+"""Sharding primitives for the concurrent serving layer.
+
+The serving layer partitions its state by table so that maintenance on
+one relation never blocks reads of another:
+
+* :class:`ShardLock` — an instrumented reader/writer lock (writer
+  preference, lock-wait accounting) guarding one shard's table data,
+  its access indices, and its slice of the result cache;
+* :class:`TableShard` — one table's lock + result-cache slice + the
+  admit-on-second-hit doorkeeper and per-shard counters;
+* :class:`StripedCache` — a lock-striped LRU used for the parse and
+  coverage-decision caches, so hot single-table traffic on different
+  fingerprints does not serialise on one mutex.
+
+Deadlock freedom: shard locks are only ever taken in **canonical table
+order** (sorted by table name; see :func:`order_shards`), maintenance
+takes exactly one shard write lock, and the per-shard cache mutexes are
+leaves — held only for dictionary operations, never while acquiring a
+shard or schema lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Optional, Sequence
+
+from repro.serving.cache import CacheStats, LRUCache
+
+
+# --------------------------------------------------------------------------- #
+# the instrumented reader/writer lock
+# --------------------------------------------------------------------------- #
+@dataclass
+class LockStats:
+    """Contention counters for one :class:`ShardLock`."""
+
+    name: str
+    read_acquisitions: int = 0
+    write_acquisitions: int = 0
+    read_wait_seconds: float = 0.0
+    write_wait_seconds: float = 0.0
+    contended_acquisitions: int = 0  # acquisitions that had to block
+
+    @property
+    def wait_seconds(self) -> float:
+        return self.read_wait_seconds + self.write_wait_seconds
+
+    def describe(self) -> str:
+        return (
+            f"lock {self.name}: {self.read_acquisitions} reads / "
+            f"{self.write_acquisitions} writes, "
+            f"{self.contended_acquisitions} contended, "
+            f"waited {self.wait_seconds * 1000:.2f} ms"
+        )
+
+
+class ShardLock:
+    """A reader/writer lock with wait-time instrumentation.
+
+    Multiple readers may hold the lock concurrently; writers are
+    exclusive. Waiting writers block new readers (writer preference) so
+    a steady read stream cannot starve maintenance. Not reentrant: a
+    thread must not re-acquire a lock it already holds, which the
+    serving layer guarantees by acquiring each shard at most once per
+    request, in canonical order.
+    """
+
+    def __init__(self, name: str):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: Optional[int] = None
+        self._waiting_writers = 0
+        self.stats = LockStats(name)
+
+    # ------------------------------------------------------------------ #
+    def acquire_read(self) -> float:
+        """Block until a read hold is granted; returns seconds waited."""
+        waited = 0.0
+        with self._cond:
+            if self._writer is not None or self._waiting_writers:
+                self.stats.contended_acquisitions += 1
+                start = time.perf_counter()
+                while self._writer is not None or self._waiting_writers:
+                    self._cond.wait()
+                waited = time.perf_counter() - start
+                self.stats.read_wait_seconds += waited
+            self._readers += 1
+            self.stats.read_acquisitions += 1
+        return waited
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> float:
+        """Block until the exclusive hold is granted; returns seconds waited."""
+        waited = 0.0
+        with self._cond:
+            self._waiting_writers += 1
+            if self._readers or self._writer is not None:
+                self.stats.contended_acquisitions += 1
+                start = time.perf_counter()
+                while self._readers or self._writer is not None:
+                    self._cond.wait()
+                waited = time.perf_counter() - start
+                self.stats.write_wait_seconds += waited
+            self._waiting_writers -= 1
+            self._writer = threading.get_ident()
+            self.stats.write_acquisitions += 1
+        return waited
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = None
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    class _ReadHold:
+        def __init__(self, lock: "ShardLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+            return self._lock
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+            return False
+
+    class _WriteHold:
+        def __init__(self, lock: "ShardLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+            return self._lock
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+            return False
+
+    def read(self) -> "ShardLock._ReadHold":
+        return ShardLock._ReadHold(self)
+
+    def write(self) -> "ShardLock._WriteHold":
+        return ShardLock._WriteHold(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardLock({self.stats.name}, readers={self._readers})"
+
+
+# --------------------------------------------------------------------------- #
+# one table's shard
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardStats:
+    """A point-in-time snapshot of one shard (``ServingStats.shards``)."""
+
+    table: str
+    version: int
+    entries: int
+    bytes: int
+    cache: CacheStats
+    lock: LockStats
+    maintenance_batches: int
+    admission_declines: int
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.table}: v{self.version}, {self.entries} entries "
+            f"({self.bytes} bytes), {self.cache.hits} hits / "
+            f"{self.cache.misses} misses, {self.cache.evictions} evictions, "
+            f"{self.cache.invalidations} invalidations, "
+            f"{self.admission_declines} declined, "
+            f"{self.maintenance_batches} maintenance batches; "
+            f"reads {self.lock.read_acquisitions} / writes "
+            f"{self.lock.write_acquisitions}, "
+            f"{self.lock.contended_acquisitions} contended, "
+            f"waited {self.lock.wait_seconds * 1000:.2f} ms"
+        )
+
+
+class TableShard:
+    """One table's concurrency unit inside :class:`BEASServer`.
+
+    Owns the reader/writer lock serialising access to the table's rows
+    and access indices, plus this table's slice of the result cache. The
+    slice is guarded by a leaf mutex of its own so that maintenance on a
+    *different* table can surgically invalidate dependent entries homed
+    here without taking this shard's full write lock.
+    """
+
+    #: doorkeeper capacity, as a multiple of the slice's entry budget
+    _DOORKEEPER_FACTOR = 4
+
+    def __init__(
+        self,
+        table: str,
+        *,
+        result_entries: int,
+        result_bytes: Optional[int],
+        sizeof: Optional[Callable[[Any], int]] = None,
+        admit_on_second_hit: bool = True,
+    ):
+        self.table = table
+        self.lock = ShardLock(table)
+        self._mutex = threading.Lock()  # leaf: guards everything below
+        self.results = LRUCache(
+            f"result[{table}]",
+            max_entries=result_entries,
+            max_bytes=result_bytes,
+            sizeof=sizeof,
+        )
+        self._admit_on_second_hit = admit_on_second_hit
+        self._seen: OrderedDict[Hashable, bool] = OrderedDict()
+        self.version: int = 0  # mirror of Table.version, for stats/sweeps
+        self.maintenance_batches = 0
+        self.admission_declines = 0
+
+    # ------------------------------------------------------------------ #
+    # the result-cache slice (call while holding this shard's read lock)
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: Hashable) -> Any:
+        with self._mutex:
+            return self.results.get(key)
+
+    def admit(self, key: Hashable, entry: Any) -> bool:
+        """Insert ``entry`` subject to the admission policy.
+
+        With admit-on-second-hit, the first sighting of a key only
+        registers it in the doorkeeper — a one-off query never churns
+        the LRU. The second sighting (and any sighting of a key already
+        admitted before) caches for real.
+        """
+        with self._mutex:
+            if not self._admit_on_second_hit:
+                return self.results.put(key, entry)  # no doorkeeper needed
+            limit = self._DOORKEEPER_FACTOR * self.results.max_entries
+            if key not in self._seen:
+                self._seen[key] = True
+                while len(self._seen) > limit:
+                    self._seen.popitem(last=False)
+                self.admission_declines += 1
+                return False
+            self._seen.move_to_end(key)
+            return self.results.put(key, entry)
+
+    def invalidate(self, key: Hashable) -> bool:
+        with self._mutex:
+            return self.results.invalidate(key)
+
+    def invalidate_keys(self, keys: Iterable[Hashable]) -> int:
+        dropped = 0
+        with self._mutex:
+            for key in keys:
+                if self.results.invalidate(key):
+                    dropped += 1
+        return dropped
+
+    def invalidate_where(
+        self, predicate: Callable[[Hashable, Any], bool]
+    ) -> int:
+        with self._mutex:
+            return self.results.invalidate_where(predicate)
+
+    def flush(self) -> int:
+        """Drop the whole slice and the doorkeeper (schema changes)."""
+        with self._mutex:
+            self._seen.clear()
+            return self.results.invalidate_all()
+
+    def entries(self) -> list[tuple[Hashable, Any]]:
+        with self._mutex:
+            return self.results.items()
+
+    def contains(self, key: Hashable) -> bool:
+        with self._mutex:
+            return key in self.results
+
+    # ------------------------------------------------------------------ #
+    def note_maintenance(self, version: int) -> None:
+        with self._mutex:
+            self.version = version
+            self.maintenance_batches += 1
+
+    def observe_version(self, version: int) -> bool:
+        """Reconcile the mirror with the live ``Table.version``.
+
+        Returns True when the table moved out-of-band (mutated around
+        the serving layer) since the last observation — the caller then
+        sweeps entries depending on this table.
+        """
+        with self._mutex:
+            if self.version == version:
+                return False
+            self.version = version
+            return True
+
+    def snapshot(self, live_version: int) -> ShardStats:
+        from dataclasses import replace
+
+        with self._mutex:
+            return ShardStats(
+                table=self.table,
+                version=live_version,
+                entries=len(self.results),
+                bytes=self.results.current_bytes,
+                cache=replace(self.results.stats),
+                lock=replace(self.lock.stats),
+                maintenance_batches=self.maintenance_batches,
+                admission_declines=self.admission_declines,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TableShard({self.table}, entries={len(self.results)})"
+
+
+def order_shards(shards: Iterable[TableShard]) -> list[TableShard]:
+    """Deduplicate + sort shards into the canonical (deadlock-free)
+    acquisition order: ascending table name."""
+    unique: dict[str, TableShard] = {}
+    for shard in shards:
+        unique[shard.table] = shard
+    return [unique[name] for name in sorted(unique)]
+
+
+def acquire_read_ordered(shards: Sequence[TableShard]) -> float:
+    """Take read holds on ``shards`` (already canonically ordered);
+    returns the total seconds spent waiting."""
+    waited = 0.0
+    for shard in shards:
+        waited += shard.lock.acquire_read()
+    return waited
+
+
+def release_read_ordered(shards: Sequence[TableShard]) -> None:
+    for shard in reversed(shards):
+        shard.lock.release_read()
+
+
+# --------------------------------------------------------------------------- #
+# the striped cache (parse + decision caches)
+# --------------------------------------------------------------------------- #
+class StripedCache:
+    """An LRU cache split across N independently locked stripes.
+
+    Keys are distributed by hash, so concurrent lookups of different
+    fingerprints proceed in parallel; a stripe's mutex is only held for
+    the dictionary operation itself. ``stripes=1`` degrades to a single
+    mutexed LRU (the unsharded baseline).
+    """
+
+    def __init__(self, name: str, *, max_entries: int, stripes: int = 8):
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self.name = name
+        per_stripe = max(1, max_entries // stripes)
+        self._stripes: list[tuple[threading.Lock, LRUCache]] = [
+            (
+                threading.Lock(),
+                LRUCache(f"{name}[{i}]", max_entries=per_stripe),
+            )
+            for i in range(stripes)
+        ]
+
+    def _stripe(self, key: Hashable) -> tuple[threading.Lock, LRUCache]:
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        mutex, cache = self._stripe(key)
+        with mutex:
+            return cache.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        mutex, cache = self._stripe(key)
+        with mutex:
+            return cache.put(key, value)
+
+    def invalidate_all(self) -> int:
+        count = 0
+        for mutex, cache in self._stripes:
+            with mutex:
+                count += cache.invalidate_all()
+        return count
+
+    def __len__(self) -> int:
+        return sum(len(cache) for _, cache in self._stripes)
+
+    def stats(self) -> CacheStats:
+        """Counters aggregated across stripes, under the cache's name."""
+        merged = CacheStats(self.name)
+        for mutex, cache in self._stripes:
+            with mutex:
+                merged.hits += cache.stats.hits
+                merged.misses += cache.stats.misses
+                merged.evictions += cache.stats.evictions
+                merged.invalidations += cache.stats.invalidations
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StripedCache({self.name}, stripes={len(self._stripes)})"

@@ -198,6 +198,50 @@ class TestServeStats:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_once_seen_query_reports_declined_admission(self, workspace, capsys):
+        """--repeat 1: the admission policy declines the one-off, and the
+        eviction/decline counters surface in the serve-stats output."""
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served_from_cache=False" in out
+        assert "1 admissions declined" in out
+        assert "0 evictions" in out
+
+    def test_concurrent_threads_report_shard_counters(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "5", "--threads", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "concurrent: 20 executes across 4 threads" in out
+        assert "ops/s aggregate" in out
+        assert "shard call:" in out
+        assert "lock contention:" in out
+
+    def test_baseline_serves_through_the_global_shard(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "3", "--baseline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard __global__:" in out
+        assert "shard call:" not in out
+
 
 class TestSqlScriptLoading:
     def test_database_from_sql_script(self, tmp_path, capsys):

@@ -61,3 +61,12 @@ class TestExamples:
         assert "served_from_cache=True" in proc.stdout
         assert "packages-of-100 retained (cache hit: True)" in proc.stdout
         assert "serving stats:" in proc.stdout
+
+    def test_async_serving(self):
+        proc = run_example("async_serving.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "concurrent clients" in proc.stdout
+        assert "served from cache" in proc.stdout
+        assert "per-shard stats" in proc.stdout
+        assert "shard call:" in proc.stdout
+        assert "maintenance queues:" in proc.stdout

@@ -80,16 +80,21 @@ class TestLRUCache:
 # --------------------------------------------------------------------------- #
 class TestResultCacheInvalidation:
     def test_repeat_is_served_from_cache(self, server):
+        """Admission is admit-on-second-hit: the first sighting only
+        registers the key, the second caches, the third is a hit."""
         cold = server.execute(CALL_SQL)
+        admitted = server.execute(CALL_SQL)
         warm = server.execute(CALL_SQL)
         assert not cold.metrics.served_from_cache
+        assert not admitted.metrics.served_from_cache
         assert warm.metrics.served_from_cache
         assert warm.rows == cold.rows and warm.columns == cold.columns
         assert warm.mode is cold.mode
 
     def test_insert_evicts_only_the_touched_table(self, server):
-        server.execute(CALL_SQL)
-        server.execute(PACKAGE_SQL)
+        for _ in range(2):  # second sighting admits each entry
+            server.execute(CALL_SQL)
+            server.execute(PACKAGE_SQL)
         server.insert("call", [NEW_CALL])
         after_call = server.execute(CALL_SQL)
         after_package = server.execute(PACKAGE_SQL)
@@ -100,6 +105,8 @@ class TestResultCacheInvalidation:
 
     def test_delete_evicts_only_the_touched_table(self, server):
         before = server.execute(CALL_SQL)
+        server.execute(CALL_SQL)
+        server.execute(PACKAGE_SQL)
         server.execute(PACKAGE_SQL)
         victim = (1, "100", "555", "2016-06-01", "north")
         server.delete("call", [victim])
@@ -110,22 +117,29 @@ class TestResultCacheInvalidation:
 
     def test_join_result_depends_on_every_joined_table(self, server):
         server.execute(EXAMPLE2_SQL)
+        server.execute(EXAMPLE2_SQL)
+        assert server.execute(EXAMPLE2_SQL).metrics.served_from_cache
         server.insert("package", [(90, "104", "c9", "2016-01-01", "2016-12-31", 2016)])
         assert not server.execute(EXAMPLE2_SQL).metrics.served_from_cache
 
     def test_mutation_outside_the_server_is_still_seen(self, server):
         """Table.version bumps on any mutation path, not just server.insert."""
         server.execute(CALL_SQL)
+        server.execute(CALL_SQL)  # admitted
         server.beas.insert("call", [NEW_CALL])  # around the serving layer
         result = server.execute(CALL_SQL)
         assert not result.metrics.served_from_cache
         assert ("990", "lagoon") in result.rows
 
     def test_cached_rows_are_isolated_from_caller_mutation(self, server):
-        first = server.execute(CALL_SQL)
-        first.rows.append(("corrupted", "row"))
-        second = server.execute(CALL_SQL)
-        assert ("corrupted", "row") not in second.rows
+        server.execute(CALL_SQL)
+        admitted = server.execute(CALL_SQL)
+        admitted.rows.append(("corrupted", "row"))
+        cached = server.execute(CALL_SQL)
+        assert cached.metrics.served_from_cache
+        assert ("corrupted", "row") not in cached.rows
+        cached.rows.append(("corrupted", "row"))
+        assert ("corrupted", "row") not in server.execute(CALL_SQL).rows
 
 
 # --------------------------------------------------------------------------- #
@@ -226,6 +240,7 @@ class TestPreparedQueries:
     def test_rebound_execution_is_cached_per_binding(self, server):
         prepared = server.prepare(CALL_SQL)
         prepared.execute({"call.date": "2016-06-02"})
+        prepared.execute({"call.date": "2016-06-02"})  # admitted
         again = prepared.execute({"call.date": "2016-06-02"})
         assert again.metrics.served_from_cache
 
@@ -256,6 +271,7 @@ class TestPreparedQueries:
             "where date = '2016-06-01' and pnum = '100'"
         )
         server.execute(CALL_SQL)
+        server.execute(CALL_SQL)  # admitted
         assert server.execute(reordered).metrics.served_from_cache
         assert statement_fingerprint(CALL_SQL) == statement_fingerprint(reordered)
 
@@ -291,12 +307,15 @@ class TestServingBudgets:
 
     def test_metrics_expose_cache_counters(self, server):
         server.execute(CALL_SQL)
+        server.execute(CALL_SQL)  # admitted on the second sighting
         warm = server.execute(CALL_SQL)
         assert warm.metrics.cache_hits >= 2  # parse + result
         assert warm.metrics.cache_misses == 0
+        assert warm.metrics.table_versions  # the observed snapshot vector
         stats = server.stats()
-        assert stats.executions == 2
+        assert stats.executions == 3
         assert stats.result.hits == 1
+        assert stats.admission_declines == 1
 
     def test_stats_describe_mentions_every_cache(self, server):
         server.execute(CALL_SQL)

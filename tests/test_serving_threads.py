@@ -1,108 +1,283 @@
-"""Thread-safety smoke test for the serving layer.
+"""Concurrency contract of the sharded serving layer.
 
-N threads hammer one :class:`BEASServer` with a mix of prepared
-executes and maintenance batches. The server serialises everything on
-one lock, so the run must (a) raise no exceptions, (b) end in a state
-identical to a serial replay of the same per-thread operations — the
-insert batches are disjoint and commutative by construction — and (c)
-have every mid-flight query observe some consistent snapshot (its row
-set equals the query's answer over a database containing a prefix-closed
-subset of the inserts).
+Three families of checks over :class:`BEASServer` (sharded):
+
+* **Linearizability by serial replay** — N writer threads (one per
+  table, so per-table version numbers identify write prefixes) and M
+  reader threads hammer one server. Every observed answer carries the
+  table-version vector it was computed under
+  (``metrics.table_versions``); the history is accepted iff (a) each
+  observed version is one an actual write produced, (b) versions
+  respect real time — a read that *started* after a write *completed*
+  sees at least that write, and never a write that had not started by
+  the time the read finished — and (c) per reader, observed versions
+  are monotone. The final state must equal a serial replay of all
+  per-thread operations.
+
+* **Non-blocking maintenance** — a long maintenance batch on ``call``
+  must not stall concurrent reads of ``package`` beyond a small bound
+  (the per-table write lock is the point of the sharded design).
+
+* **Deadlock canary** — a mixed workload of multi-shard joins,
+  single-table reads, maintenance, and access-schema changes finishes
+  within a hard timeout (ordered acquisition means no lock cycles).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 
-from repro import BEAS
+from repro import BEAS, AccessConstraint
 
 from tests.conftest import example1_access_schema, example1_database
 
-THREADS = 6
-OPS_PER_THREAD = 25
+WRITERS = {"call": 0, "package": 1, "business": 2}
+READERS = 4
+WRITES_PER_THREAD = 12
+READS_PER_THREAD = 30
 
-QUERY = (
-    "SELECT DISTINCT recnum, region FROM call "
-    "WHERE pnum = '100' AND date = '2016-06-01'"
-)
-
-
-def _ops_for(thread_index: int) -> list[tuple]:
-    """A deterministic, commutative op sequence for one thread."""
-    ops: list[tuple] = []
-    for op_index in range(OPS_PER_THREAD):
-        if op_index % 3 == 2:
-            row = (
-                10_000 + thread_index * 1_000 + op_index,
-                "100",
-                f"t{thread_index}-{op_index}",
-                "2016-06-01",
-                f"region-{thread_index}",
-            )
-            ops.append(("insert", row))
-        else:
-            ops.append(("query", None))
-    return ops
+QUERIES = {
+    "call": (
+        "SELECT DISTINCT recnum, region FROM call "
+        "WHERE pnum = '100' AND date = '2016-06-01'"
+    ),
+    "package": "SELECT pid FROM package WHERE pnum = '100' AND year = 2016",
+    "business": (
+        "SELECT business.pnum FROM business "
+        "WHERE business.type = 'bank' AND business.region = 'east'"
+    ),
+    "join": (
+        "SELECT call.region, business.type FROM call, business "
+        "WHERE call.pnum = business.pnum AND call.date = '2016-06-01'"
+    ),
+}
 
 
-def _run_ops(server, ops, results: list, errors: list) -> None:
-    prepared = server.prepare(QUERY)
-    try:
-        for kind, payload in ops:
-            if kind == "insert":
-                server.insert("call", [payload])
-            else:
-                results.append(Counter(prepared.execute().rows))
-    except Exception as error:  # pragma: no cover - the assertion target
-        errors.append(error)
+def _write_rows(table: str, thread: int, op: int) -> list[tuple]:
+    """Commutative, key-unique rows for one write batch."""
+    base = 50_000 + thread * 1_000 + op
+    if table == "call":
+        return [(base, "100", f"w{thread}-{op}", "2016-06-01", "storm")]
+    if table == "package":
+        # distinct pnum per batch: psi2 bounds the packages of one
+        # (pnum, year), so the writer must spread its key space
+        return [
+            (base, f"55{thread}{op:02d}", f"p{thread}-{op}",
+             "2016-02-01", "2016-11-30", 2016)
+        ]
+    return [(f"9{thread}{op:02d}", "shop", "harbor")]
 
 
-def test_threaded_mix_matches_serial_replay():
+class _WriterLog:
+    """Per-table write history: (version_after, start, end) per batch."""
+
+    def __init__(self, initial_version: int):
+        self.initial_version = initial_version
+        self.batches: list[tuple[int, float, float]] = []
+
+    def versions(self) -> set[int]:
+        return {self.initial_version} | {v for v, _, _ in self.batches}
+
+    def min_version_visible_at(self, instant: float) -> int:
+        """Writes completed before ``instant`` must be visible."""
+        done = [v for v, _, end in self.batches if end < instant]
+        return max(done, default=self.initial_version)
+
+    def max_version_started_by(self, instant: float) -> int:
+        started = [v for v, start, _ in self.batches if start < instant]
+        return max(started, default=self.initial_version)
+
+
+def test_linearizable_history_and_serial_replay():
     server = BEAS(example1_database(), example1_access_schema()).serve()
-    all_ops = [_ops_for(i) for i in range(THREADS)]
-
+    logs = {
+        table: _WriterLog(server.database.table(table).version)
+        for table in WRITERS
+    }
     errors: list = []
-    observed: list[list] = [[] for _ in range(THREADS)]
+    observations: list[list] = [[] for _ in range(READERS)]
+    barrier = threading.Barrier(len(WRITERS) + READERS)
+
+    def writer(table: str, index: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            for op in range(WRITES_PER_THREAD):
+                start = time.perf_counter()
+                batch = server.insert(table, _write_rows(table, index, op))
+                end = time.perf_counter()
+                logs[table].batches.append((batch.table_version, start, end))
+        except Exception as error:  # pragma: no cover - assertion target
+            errors.append(error)
+
+    def reader(index: int) -> None:
+        try:
+            prepared = {
+                name: server.prepare(sql) for name, sql in QUERIES.items()
+            }
+            barrier.wait(timeout=30)
+            names = list(QUERIES)
+            for op in range(READS_PER_THREAD):
+                name = names[(index + op) % len(names)]
+                start = time.perf_counter()
+                result = prepared[name].execute()
+                end = time.perf_counter()
+                observations[index].append(
+                    (dict(result.metrics.table_versions), start, end)
+                )
+        except Exception as error:  # pragma: no cover - assertion target
+            errors.append(error)
+
     threads = [
-        threading.Thread(
-            target=_run_ops, args=(server, all_ops[i], observed[i], errors)
-        )
-        for i in range(THREADS)
-    ]
+        threading.Thread(target=writer, args=(table, index))
+        for table, index in WRITERS.items()
+    ] + [threading.Thread(target=reader, args=(i,)) for i in range(READERS)]
     for thread in threads:
         thread.start()
     for thread in threads:
-        thread.join(timeout=60)
+        thread.join(timeout=120)
     assert not errors, errors
     assert all(not thread.is_alive() for thread in threads)
 
-    # serial replay over a fresh instance: same ops, single thread
-    serial = BEAS(example1_database(), example1_access_schema()).serve()
-    for ops in all_ops:
-        for kind, payload in ops:
-            if kind == "insert":
-                serial.insert("call", [payload])
+    # (a) + (b): every observation is a real write prefix, placed in real time
+    for per_reader in observations:
+        last_seen: dict[str, int] = {}
+        for versions, start, end in per_reader:
+            for table, version in versions.items():
+                log = logs[table]
+                assert version in log.versions(), (table, version)
+                assert version >= log.min_version_visible_at(start), (
+                    "read missed a write that completed before it started",
+                    table, version, start,
+                )
+                assert version <= log.max_version_started_by(end), (
+                    "read observed a write from its future",
+                    table, version, end,
+                )
+                # (c) per-session monotonicity
+                assert version >= last_seen.get(table, 0), (table, version)
+                last_seen[table] = version
 
-    live_rows = Counter(server.database.table("call").rows)
-    serial_rows = Counter(serial.database.table("call").rows)
-    assert live_rows == serial_rows
+    # final state == serial replay of the same per-thread operations
+    replay = BEAS(example1_database(), example1_access_schema()).serve()
+    for table, index in WRITERS.items():
+        for op in range(WRITES_PER_THREAD):
+            replay.insert(table, _write_rows(table, index, op))
+    for table in WRITERS:
+        live = Counter(server.database.table(table).rows)
+        replayed = Counter(replay.database.table(table).rows)
+        assert live == replayed, table
+    for sql in QUERIES.values():
+        concurrent_answer = server.execute(sql, use_result_cache=False)
+        serial_answer = replay.execute(sql, use_result_cache=False)
+        assert Counter(concurrent_answer.rows) == Counter(serial_answer.rows)
 
-    final_threaded = server.execute(QUERY, use_result_cache=False)
-    final_serial = serial.execute(QUERY)
-    assert set(final_threaded.rows) == set(final_serial.rows)
-
-    # every observed mid-flight answer is consistent with *some* subset of
-    # the inserts: the fixed seed rows plus inserted recnums only
-    valid_recnums = {r[2] for ops in all_ops for kind, r in ops if kind == "insert"}
-    baseline = {
-        (recnum, region) for recnum, region in final_serial.rows
-    }
-    for per_thread in observed:
-        for answer in per_thread:
-            for recnum, region in answer:
-                assert (recnum, region) in baseline
-    # and the caches were actually exercised under contention
+    # the shards were genuinely exercised in parallel
     stats = server.stats()
-    assert stats.executions >= THREADS * (OPS_PER_THREAD * 2 // 3)
-    assert stats.result.lookups > 0
+    assert stats.executions >= READERS * READS_PER_THREAD
+    assert stats.shards["call"].maintenance_batches == WRITES_PER_THREAD
+    assert stats.shards["package"].maintenance_batches == WRITES_PER_THREAD
+
+
+def test_maintenance_on_one_table_does_not_block_reads_of_another():
+    """Reads of ``package`` proceed while a big batch lands in ``call``."""
+    server = BEAS(example1_database(), example1_access_schema()).serve()
+    package_query = server.prepare(QUERIES["package"])
+    package_query.execute()
+    package_query.execute()  # admitted: steady-state read path
+
+    # a deliberately heavy batch: many distinct (pnum, date) groups so the
+    # REJECT validation walks every row without violating psi1's bound
+    big_batch = [
+        (100_000 + i, f"6{i % 977:03d}", f"b{i}", "2016-06-01", "delta")
+        for i in range(4_000)
+    ]
+    started = threading.Event()
+    duration: list[float] = []
+
+    def maintain() -> None:
+        started.set()
+        start = time.perf_counter()
+        server.insert("call", big_batch)
+        duration.append(time.perf_counter() - start)
+
+    writer = threading.Thread(target=maintain)
+    read_latencies: list[float] = []
+    overlapped = 0
+    writer.start()
+    started.wait(timeout=10)
+    while writer.is_alive():
+        start = time.perf_counter()
+        result = package_query.execute()
+        read_latencies.append(time.perf_counter() - start)
+        if writer.is_alive():
+            overlapped += 1
+        assert result.rows  # sanity: the answer itself is unaffected
+    writer.join(timeout=60)
+    assert duration, "maintenance thread did not finish"
+
+    assert overlapped >= 3, (
+        f"only {overlapped} reads overlapped the batch "
+        f"(batch took {duration[0] * 1000:.1f} ms) — too fast to judge"
+    )
+    bound = max(0.05, duration[0] / 4)
+    assert max(read_latencies) < bound, (
+        f"a read of `package` stalled {max(read_latencies) * 1000:.1f} ms "
+        f"behind maintenance on `call` ({duration[0] * 1000:.1f} ms)"
+    )
+
+
+def test_mixed_workload_deadlock_canary():
+    """Joins (multi-shard read locks), maintenance (write locks), and
+    schema changes (schema write lock) interleave without deadlock."""
+    server = BEAS(example1_database(), example1_access_schema()).serve()
+    errors: list = []
+    stop = threading.Event()
+
+    def querier(index: int) -> None:
+        try:
+            names = list(QUERIES)
+            op = 0
+            while not stop.is_set():
+                server.execute(QUERIES[names[(index + op) % len(names)]])
+                op += 1
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    def maintainer() -> None:
+        try:
+            op = 0
+            while not stop.is_set():
+                rows = _write_rows("call", 9, op)
+                server.insert("call", rows)
+                server.delete("call", rows)
+                op += 1
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    def schema_churn() -> None:
+        try:
+            toggle = AccessConstraint(
+                "call", ["region"], ["recnum"], 5_000, name="canary"
+            )
+            while not stop.is_set():
+                server.register(toggle, validate=False)
+                server.unregister("canary")
+                time.sleep(0.002)
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = (
+        [threading.Thread(target=querier, args=(i,)) for i in range(3)]
+        + [threading.Thread(target=maintainer)]
+        + [threading.Thread(target=schema_churn)]
+    )
+    for thread in threads:
+        thread.start()
+    time.sleep(1.0)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert all(not thread.is_alive() for thread in threads), "deadlock"
