@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Columnar execution: the same bounded plans, batch-at-a-time.
+
+The BE Plan Executor has two modes sharing identical plans, bounds, and
+answers:
+
+* ``executor="row"`` (default) — tuple-at-a-time intermediates;
+* ``executor="columnar"`` — per-attribute column batches with a
+  selection vector: fetches gather index postings for a whole key batch,
+  selections only shrink the selection vector, and the tail operators
+  stream batches of ``rows_per_batch`` rows (``engine.columnar``).
+
+This walkthrough:
+
+1. builds a synthetic event table (50k rows) under one access
+   constraint;
+2. runs a selective fetch/select/aggregate query in both modes and
+   shows the metrics delta — same rows, same ``tuples_fetched``, but
+   the columnar run reports ``rows_per_batch``/``batches`` and a lower
+   wall-clock;
+3. flips the mode per query through the serving layer
+   (``server.execute(sql, executor="columnar")``) without rebuilding
+   anything.
+
+Run:  python examples/columnar_executor.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import random
+
+from repro import (
+    AccessConstraint,
+    AccessSchema,
+    BEAS,
+    Database,
+    DatabaseSchema,
+    DataType,
+    TableSchema,
+)
+
+# ---- 1. a 50k-row event table under one (k, date) constraint -------------
+rng = random.Random(11)
+schema = DatabaseSchema(
+    [
+        TableSchema(
+            "event",
+            [
+                ("k", DataType.STRING),
+                ("date", DataType.STRING),
+                ("recnum", DataType.STRING),
+                ("region", DataType.STRING),
+            ],
+            keys=[("recnum",)],
+        )
+    ]
+)
+db = Database(schema)
+table = db.table("event")
+n = 0
+for ki in range(250):
+    for date in ("2016-06-01", "2016-06-02"):
+        for _ in range(100):
+            table.rows.append(
+                (f"k{ki:03d}", date, f"rec{n}", f"r{rng.randrange(6)}")
+            )
+            n += 1
+table.version = 1
+access = AccessSchema(
+    [
+        AccessConstraint(
+            "event", ["k", "date"], ["recnum", "region"], 150, name="by_key"
+        )
+    ]
+)
+
+key_list = ", ".join(f"'k{ki:03d}'" for ki in range(120))
+SQL = (
+    f"SELECT region, COUNT(*) AS events FROM event "
+    f"WHERE k IN ({key_list}) AND date = '2016-06-01' "
+    f"AND region IN ('r0', 'r1', 'r2') GROUP BY region"
+)
+
+# ---- 2. the same plan, both modes ----------------------------------------
+print("== one bounded plan, two executors ==")
+results = {}
+for mode in ("row", "columnar"):
+    beas = BEAS(db, access, executor=mode, rows_per_batch=4096)
+    result = beas.execute(SQL)
+    results[mode] = result
+    metrics = result.metrics
+    print(
+        f"{mode:>8}: {len(result.rows)} groups in {metrics.seconds * 1000:6.1f} ms"
+        f" — fetched {metrics.tuples_fetched} partial tuples"
+        + (
+            f", {metrics.batches} batches of <= {metrics.rows_per_batch} rows"
+            if mode == "columnar"
+            else ""
+        )
+    )
+
+assert results["row"].rows == results["columnar"].rows
+assert (
+    results["row"].metrics.tuples_fetched
+    == results["columnar"].metrics.tuples_fetched
+)
+print("answers and tuple-access accounting are identical across modes")
+
+speedup = results["row"].metrics.seconds / max(
+    results["columnar"].metrics.seconds, 1e-9
+)
+print(f"columnar speedup on this run: {speedup:.2f}x")
+
+# ---- 3. per-query mode selection through the serving layer ---------------
+print("\n== per-query selection through the serving layer ==")
+beas = BEAS(db, access)  # default mode: row
+server = beas.serve()
+row_run = server.execute(SQL, use_result_cache=False)
+columnar_run = server.execute(SQL, use_result_cache=False, executor="columnar")
+assert row_run.rows == columnar_run.rows
+print(
+    "server.execute(sql)                        ->",
+    f"row pipeline, {row_run.metrics.batches} batches",
+)
+print(
+    'server.execute(sql, executor="columnar")   ->',
+    f"columnar pipeline, {columnar_run.metrics.batches} batches",
+)
+print("\nmode switching is per query; caches and plans are shared")

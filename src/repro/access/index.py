@@ -101,8 +101,18 @@ class AccessIndex:
     # lookups (the fetch primitive)
     # ------------------------------------------------------------------ #
     def fetch(self, key: Key) -> list[YValue]:
-        """Return the bucket ``D_Y(X = key)``: at most N distinct Y-values."""
-        bucket = self._buckets.get(tuple(key))
+        """Return the bucket ``D_Y(X = key)``: at most N distinct Y-values.
+
+        A key containing NULL never matches: ``fetch`` implements the
+        equality ``X = key``, and under SQL's three-valued logic an
+        equality against NULL is UNKNOWN, not TRUE — even when base rows
+        with NULL X-values exist (their buckets are maintained for
+        storage accounting but are unreachable by equality lookup).
+        """
+        key = tuple(key)
+        if None in key:
+            return []
+        bucket = self._buckets.get(key)
         if bucket is None:
             return []
         return list(bucket)

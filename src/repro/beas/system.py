@@ -37,6 +37,7 @@ from repro.access.schema import AccessSchema
 from repro.errors import BudgetExceededError
 from repro.sql import ast
 from repro.storage.database import Database
+from repro.engine.columnar import resolve_executor_mode
 from repro.engine.executor import ConventionalEngine
 from repro.engine.profiles import EngineProfile, POSTGRESQL
 from repro.bounded.analyzer import PerformanceAnalysis, PerformanceAnalyzer
@@ -59,12 +60,22 @@ class BEAS:
         host_profile: EngineProfile = POSTGRESQL,
         require_exact_multiplicities: bool = False,
         dedup_keys: bool = False,
+        executor: Optional[str] = None,
+        rows_per_batch: Optional[int] = None,
     ):
+        """``executor`` selects the bounded pipeline's execution mode:
+        ``"row"`` (tuple-at-a-time, the default) or ``"columnar"``
+        (vectorised batches, see :mod:`repro.engine.columnar`); ``None``
+        defers to the ``BEAS_EXECUTOR`` environment variable. Both modes
+        return identical answers — the choice only trades execution
+        strategy. ``rows_per_batch`` sizes columnar batches."""
         self.database = database
         self.catalog = ASCatalog(database, access_schema)
         self.host_profile = host_profile
         self._require_exact = require_exact_multiplicities
         self._dedup_keys = dedup_keys
+        self.executor = resolve_executor_mode(executor)
+        self._rows_per_batch = rows_per_batch
         self._host = ConventionalEngine(database, host_profile)
         self._host_engines: dict[str, ConventionalEngine] = {
             host_profile.name: self._host
@@ -80,13 +91,41 @@ class BEAS:
             self.catalog.schema,
             require_exact_multiplicities=self._require_exact,
         )
-        self._executor = BoundedPlanExecutor(
-            self.catalog, dedup_keys=self._dedup_keys
-        )
+        self._executors = {
+            self.executor: BoundedPlanExecutor(
+                self.catalog,
+                dedup_keys=self._dedup_keys,
+                executor=self.executor,
+                rows_per_batch=self._rows_per_batch,
+            )
+        }
+        self._executor = self._executors[self.executor]
         self._optimizer = BEPlanOptimizer(
-            self.catalog, self.host_profile, dedup_keys=self._dedup_keys
+            self.catalog,
+            self.host_profile,
+            dedup_keys=self._dedup_keys,
+            executor=self.executor,
+            rows_per_batch=self._rows_per_batch,
         )
         self._approximator = BoundedApproximator(self.catalog)
+
+    def bounded_executor(self, executor: Optional[str] = None) -> BoundedPlanExecutor:
+        """The BE Plan Executor for one mode (instances are memoised).
+
+        With ``executor=None`` the instance default applies. The serving
+        layer uses this to honour a per-query mode override.
+        """
+        mode = self.executor if executor is None else resolve_executor_mode(executor)
+        engine = self._executors.get(mode)
+        if engine is None:
+            engine = BoundedPlanExecutor(
+                self.catalog,
+                dedup_keys=self._dedup_keys,
+                executor=mode,
+                rows_per_batch=self._rows_per_batch,
+            )
+            self._executors[mode] = engine
+        return engine
 
     # ------------------------------------------------------------------ #
     # access schema management
@@ -136,13 +175,15 @@ class BEAS:
         budget: Optional[int] = None,
         allow_partial: bool = True,
         approximate_over_budget: bool = False,
+        executor: Optional[str] = None,
     ) -> BEASResult:
         """Answer ``query``, choosing the evaluation mode per paper §2.
 
         With a ``budget``: covered queries whose deduced bound exceeds it
         either raise :class:`~repro.errors.BudgetExceededError` or, with
         ``approximate_over_budget=True``, take the resource-bounded
-        approximation route.
+        approximation route. ``executor`` overrides the bounded
+        pipeline's execution mode ("row"/"columnar") for this query.
         """
         decision = self.check(query, budget)
         return self.execute_decided(
@@ -151,6 +192,7 @@ class BEAS:
             budget=budget,
             allow_partial=allow_partial,
             approximate_over_budget=approximate_over_budget,
+            executor=executor,
         )
 
     def execute_decided(
@@ -161,6 +203,7 @@ class BEAS:
         budget: Optional[int] = None,
         allow_partial: bool = True,
         approximate_over_budget: bool = False,
+        executor: Optional[str] = None,
     ) -> BEASResult:
         """Execute ``query`` under an already-made checker ``decision``.
 
@@ -170,7 +213,9 @@ class BEAS:
 
         A decision made without a budget carries ``within_budget=None``;
         when a ``budget`` is passed here, feasibility is (re)derived from
-        the decision's access bound.
+        the decision's access bound. ``executor`` overrides the bounded
+        execution mode per query; answers are mode-independent, so the
+        decision and result caches need no extra keying.
         """
         if (
             budget is not None
@@ -195,7 +240,7 @@ class BEAS:
                         approximation=approx,
                     )
                 raise BudgetExceededError(decision.access_bound, budget)
-            result = self._executor.execute(decision.plan)
+            result = self.bounded_executor(executor).execute(decision.plan)
             return BEASResult.from_query_result(
                 result, ExecutionMode.BOUNDED, decision
             )
@@ -203,7 +248,7 @@ class BEAS:
         if allow_partial:
             partial = self._optimizer.analyze(query)
             if partial is not None:
-                result = self._optimizer.execute(partial)
+                result = self._optimizer.execute(partial, executor=executor)
                 return BEASResult.from_query_result(
                     result, ExecutionMode.PARTIAL, decision
                 )
@@ -307,7 +352,9 @@ class BEAS:
         profiles: Optional[Sequence[EngineProfile]] = None,
     ) -> PerformanceAnalysis:
         """The Fig.-3 analysis panel for a covered query."""
-        analyzer = PerformanceAnalyzer(self.catalog, dedup_keys=self._dedup_keys)
+        analyzer = PerformanceAnalyzer(
+            self.catalog, dedup_keys=self._dedup_keys, executor=self.executor
+        )
         if profiles is None:
             return analyzer.analyze(query)
         return analyzer.analyze(query, profiles)

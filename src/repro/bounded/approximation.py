@@ -183,7 +183,11 @@ class BoundedApproximator:
         if op.kind == "selection":
             position = layout[op.column]
             allowed = set(op.values or ())
-            rows = [row for row in intermediate.rows if row[position] in allowed]
+            rows = [
+                row
+                for row in intermediate.rows
+                if row[position] is not None and row[position] in allowed
+            ]
         elif op.kind == "equality":
             a = layout[op.column]
             b = layout[op.other]

@@ -13,6 +13,25 @@ plan of Example 2 "still accesses over 12 million tuples": every
 intermediate row presents its key to the index. ``dedup_keys=True``
 fetches each distinct key once — an optimisation the paper's bound
 arithmetic does not assume (ablation bench A1).
+
+Two execution modes share the same plans, bounds, and accounting:
+
+* ``executor="row"`` (default) materialises row-tuple intermediates;
+* ``executor="columnar"`` runs the pipeline over per-attribute column
+  batches (``engine.columnar``): fetches gather index postings for a
+  whole key batch and build the output column by column, selections only
+  shrink a selection vector, and the tail operators stream batches of
+  ``rows_per_batch`` rows (``engine.physical.ColumnarTailExecutor``).
+
+Both modes present exactly the same keys to the indices in the same
+order, so ``tuples_fetched``, the per-fetch bound enforcement, and the
+``dedup_keys`` semantics are identical by construction — the paper's §3
+bound arithmetic holds unchanged. NULL semantics (both modes): a fetch
+key with a NULL part never matches any index entry (SQL three-valued
+logic — an equality against NULL is UNKNOWN), whether the part comes
+from a materialised column or an enumerated constant, and key dedup
+never conflates distinct NULL-bearing keys because such keys are never
+presented at all.
 """
 
 from __future__ import annotations
@@ -24,11 +43,17 @@ from typing import Optional
 from repro.access.catalog import ASCatalog
 from repro.errors import ExecutionError
 from repro.sql.normalize import Attribute
+from repro.engine.columnar import (
+    ColumnarIntermediate,
+    compile_columnar_predicate,
+    resolve_executor_mode,
+    resolve_rows_per_batch,
+)
 from repro.engine.executor import QueryResult
 from repro.engine.expressions import compile_predicate
 from repro.engine.logical import MaterializedNode, SetOpNode
 from repro.engine.metrics import ExecutionMetrics
-from repro.engine.physical import Intermediate, PhysicalExecutor
+from repro.engine.physical import ColumnarTailExecutor, Intermediate, PhysicalExecutor
 from repro.engine.planner import attach_tail
 from repro.engine.profiles import EngineProfile
 from repro.bounded.plan import AnyBoundedPlan, BoundedPlan, FetchOp, SelectOp, SetOpPlan
@@ -40,7 +65,8 @@ class _KeyPlan:
     """Resolved fetch-key layout: how each X part obtains its value, which
     fetched attributes extend the row, and which must match existing columns.
 
-    Shared by the BE Plan Executor and the resource-bounded approximator.
+    Shared by the BE Plan Executor (both modes) and the resource-bounded
+    approximator.
     """
 
     def __init__(self, op: FetchOp, layout: dict[object, int]):
@@ -86,16 +112,22 @@ class _KeyPlan:
             Attribute(op.binding, op.key_parts[i].attribute) for i in self.x_new
         ] + [Attribute(op.binding, y_names[i]) for i in self.y_new]
 
+    def _const_combos(self):
+        """Enumerated constant combinations, NULL-bearing ones skipped:
+        a key part equal to NULL can never match (three-valued logic)."""
+        if not self.group_value_lists:
+            return ((),)
+        return (
+            combo
+            for combo in itertools.product(*self.group_value_lists)
+            if None not in combo
+        )
+
     def keys_for(self, row: tuple, key_parts_len: int):
         """Yield the fully resolved key tuples for one input row (several
         when an IN-list enumerates constants); yields nothing when a key
-        column is NULL."""
-        combos = (
-            itertools.product(*self.group_value_lists)
-            if self.group_value_lists
-            else ((),)
-        )
-        for combo in combos:
+        part — column-sourced or constant — is NULL."""
+        for combo in self._const_combos():
             key = [None] * key_parts_len
             for group_index, positions in enumerate(self.group_positions):
                 for position in positions:
@@ -111,17 +143,49 @@ class _KeyPlan:
             if valid:
                 yield tuple(key)
 
+    def keys_for_columns(
+        self, columns: list[list], index: int, key_parts_len: int
+    ):
+        """Like :meth:`keys_for`, reading the input row from per-attribute
+        columns at physical position ``index`` (columnar fetch)."""
+        for combo in self._const_combos():
+            key = [None] * key_parts_len
+            for group_index, positions in enumerate(self.group_positions):
+                for position in positions:
+                    key[position] = combo[group_index]
+            valid = True
+            for i, position in enumerate(self.column_positions):
+                if position is not None:
+                    value = columns[position][index]
+                    if value is None:
+                        valid = False  # SQL: NULL never joins
+                        break
+                    key[i] = value
+            if valid:
+                yield tuple(key)
+
 
 class BoundedPlanExecutor:
     """Executes bounded plans; the only data access is via access indices."""
 
-    def __init__(self, catalog: ASCatalog, *, dedup_keys: bool = False):
+    def __init__(
+        self,
+        catalog: ASCatalog,
+        *,
+        dedup_keys: bool = False,
+        executor: Optional[str] = None,
+        rows_per_batch: Optional[int] = None,
+    ):
         self._catalog = catalog
         self._dedup_keys = dedup_keys
+        self.executor = resolve_executor_mode(executor)
+        self.rows_per_batch = resolve_rows_per_batch(rows_per_batch)
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: AnyBoundedPlan) -> QueryResult:
         metrics = ExecutionMetrics()
+        if self.executor == "columnar":
+            metrics.rows_per_batch = self.rows_per_batch
         start = time.perf_counter()
         intermediate = self._run(plan, metrics)
         metrics.seconds = time.perf_counter() - start
@@ -146,8 +210,12 @@ class BoundedPlanExecutor:
                 self._catalog.database, _NEUTRAL_PROFILE, metrics
             )
             return executor.run(node)
+        if self.executor == "columnar":
+            return self._run_select_columnar(plan, metrics)
         return self._run_select(plan, metrics)
 
+    # ------------------------------------------------------------------ #
+    # row mode
     # ------------------------------------------------------------------ #
     def _run_select(self, plan: BoundedPlan, metrics: ExecutionMetrics) -> Intermediate:
         intermediate = Intermediate(labels=[], rows=[()])
@@ -206,12 +274,7 @@ class BoundedPlanExecutor:
                         + tuple(y_value[i] for i in key_plan.y_new)
                     )
 
-        if fetched > op.access_bound:
-            raise ExecutionError(
-                f"fetch {op.constraint.name} accessed {fetched} tuples, "
-                f"exceeding its deduced bound {op.access_bound}; "
-                "the dataset no longer conforms to the access schema"
-            )
+        self._enforce_bound(op, fetched)
         metrics.tuples_fetched += fetched
         metrics.intermediate_rows += len(out_rows)
         metrics.record(
@@ -231,7 +294,11 @@ class BoundedPlanExecutor:
         if op.kind == "selection":
             position = layout[op.column]
             allowed = set(op.values or ())
-            rows = [row for row in intermediate.rows if row[position] in allowed]
+            rows = [
+                row
+                for row in intermediate.rows
+                if row[position] is not None and row[position] in allowed
+            ]
         elif op.kind == "equality":
             a = layout[op.column]
             b = layout[op.other]
@@ -247,3 +314,164 @@ class BoundedPlanExecutor:
             op.describe(), len(intermediate.rows), len(rows), time.perf_counter() - start
         )
         return Intermediate(intermediate.labels, rows)
+
+    # ------------------------------------------------------------------ #
+    # columnar mode
+    # ------------------------------------------------------------------ #
+    def _run_select_columnar(
+        self, plan: BoundedPlan, metrics: ExecutionMetrics
+    ) -> Intermediate:
+        intermediate = ColumnarIntermediate.seed()
+        for op in plan.ops:
+            if isinstance(op, FetchOp):
+                intermediate = self._fetch_columnar(op, intermediate, metrics)
+            elif isinstance(op, SelectOp):
+                intermediate = self._select_columnar(op, intermediate, metrics)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown bounded plan op {op!r}")
+
+        # the same conventional tail, interpreted batch-wise
+        sentinel = MaterializedNode(intermediate.labels, [])
+        tail = attach_tail(sentinel, plan.cq, force_distinct=not plan.bag_exact)
+        chain = ColumnarTailExecutor.match(tail)
+        if chain is None or chain.child is not sentinel:  # pragma: no cover
+            # defensive: an unexpected tail shape falls back to row mode
+            rows_tail = attach_tail(
+                MaterializedNode(intermediate.labels, intermediate.to_rows()),
+                plan.cq,
+                force_distinct=not plan.bag_exact,
+            )
+            executor = PhysicalExecutor(
+                self._catalog.database, _NEUTRAL_PROFILE, metrics
+            )
+            return executor.run(rows_tail)
+        executor = ColumnarTailExecutor(metrics, self.rows_per_batch)
+        return executor.run(chain, intermediate)
+
+    # ------------------------------------------------------------------ #
+    def _fetch_columnar(
+        self,
+        op: FetchOp,
+        intermediate: ColumnarIntermediate,
+        metrics: ExecutionMetrics,
+    ) -> ColumnarIntermediate:
+        """Batch fetch: resolve the key batch, gather all postings, then
+        materialise the output column by column (no per-row tuples)."""
+        start = time.perf_counter()
+        index = self._catalog.index_for(op.constraint)
+        key_plan = _KeyPlan(op, intermediate.layout)
+        labels = intermediate.labels + key_plan.new_labels
+        parts_len = len(op.key_parts)
+        columns = intermediate.columns
+        y_existing = key_plan.y_existing
+        x_new, y_new = key_plan.x_new, key_plan.y_new
+
+        cache: dict[tuple, list[tuple]] = {}
+        dedup = self._dedup_keys
+        fetched = 0
+        out_count = 0
+        rows_in = intermediate.live_count
+        # one gather position per output row (skipped entirely when there
+        # are no input columns to replicate), plus the new columns' values
+        track_gather = bool(columns)
+        gather: list[int] = []
+        new_x_columns: list[list] = [[] for _ in x_new]
+        new_y_columns: list[list] = [[] for _ in y_new]
+
+        for batch in intermediate.iter_batches(self.rows_per_batch):
+            metrics.batches += 1
+            # resolve the whole key batch first, then gather its postings
+            batch_keys: list[tuple[int, tuple]] = []
+            for i in batch:
+                for key_tuple in key_plan.keys_for_columns(columns, i, parts_len):
+                    batch_keys.append((i, key_tuple))
+            for i, key_tuple in batch_keys:
+                if dedup:
+                    bucket = cache.get(key_tuple)
+                    if bucket is None:
+                        bucket = index.fetch(key_tuple)
+                        cache[key_tuple] = bucket
+                        fetched += len(bucket)
+                else:
+                    bucket = index.fetch(key_tuple)
+                    fetched += len(bucket)
+                if not bucket:
+                    continue
+                if y_existing:
+                    bucket = [
+                        y_value
+                        for y_value in bucket
+                        if all(
+                            y_value[j] == columns[pos][i] for j, pos in y_existing
+                        )
+                    ]
+                    if not bucket:
+                        continue
+                matches = len(bucket)
+                out_count += matches
+                if track_gather:
+                    gather.extend([i] * matches)
+                for column, j in zip(new_x_columns, x_new):
+                    column.extend([key_tuple[j]] * matches)
+                for column, j in zip(new_y_columns, y_new):
+                    column.extend([y_value[j] for y_value in bucket])
+
+        self._enforce_bound(op, fetched)
+        out_columns = [
+            [column[g] for g in gather] for column in columns
+        ] + new_x_columns + new_y_columns
+        metrics.tuples_fetched += fetched
+        metrics.intermediate_rows += out_count
+        metrics.record(
+            f"fetch[{op.constraint.name}]({op.constraint.relation} as {op.binding})",
+            rows_in,
+            out_count,
+            time.perf_counter() - start,
+        )
+        return ColumnarIntermediate(labels, out_columns, out_count)
+
+    # ------------------------------------------------------------------ #
+    def _select_columnar(
+        self,
+        op: SelectOp,
+        intermediate: ColumnarIntermediate,
+        metrics: ExecutionMetrics,
+    ) -> ColumnarIntermediate:
+        """Column-wise filters: only the selection vector shrinks."""
+        start = time.perf_counter()
+        layout = intermediate.layout
+        live = intermediate.live
+        rows_in = intermediate.live_count
+        if op.kind == "selection":
+            column = intermediate.columns[layout[op.column]]
+            allowed = set(op.values or ())
+            sel = [
+                i
+                for i in live
+                if (value := column[i]) is not None and value in allowed
+            ]
+        elif op.kind == "equality":
+            a = intermediate.columns[layout[op.column]]
+            b = intermediate.columns[layout[op.other]]
+            sel = [
+                i for i in live if (value := a[i]) is not None and value == b[i]
+            ]
+        else:
+            columnar_predicate = compile_columnar_predicate(op.predicate, layout)
+            sel = columnar_predicate(intermediate.columns, live)
+        metrics.record(
+            op.describe(), rows_in, len(sel), time.perf_counter() - start
+        )
+        return ColumnarIntermediate(
+            intermediate.labels, intermediate.columns, intermediate.count, sel=sel
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _enforce_bound(op: FetchOp, fetched: int) -> None:
+        if fetched > op.access_bound:
+            raise ExecutionError(
+                f"fetch {op.constraint.name} accessed {fetched} tuples, "
+                f"exceeding its deduced bound {op.access_bound}; "
+                "the dataset no longer conforms to the access schema"
+            )

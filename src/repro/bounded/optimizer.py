@@ -134,10 +134,14 @@ class BEPlanOptimizer:
         profile: EngineProfile = POSTGRESQL,
         *,
         dedup_keys: bool = False,
+        executor: Optional[str] = None,
+        rows_per_batch: Optional[int] = None,
     ):
         self._catalog = catalog
         self._profile = profile
         self._dedup_keys = dedup_keys
+        self._executor_mode = executor
+        self._rows_per_batch = rows_per_batch
         self._generator = BoundedPlanGenerator(
             catalog.database.schema, catalog.schema
         )
@@ -189,10 +193,22 @@ class BEPlanOptimizer:
         )
 
     # ------------------------------------------------------------------ #
-    def execute(self, partial: PartialPlan) -> QueryResult:
-        """Run the bounded prefix, materialise it, and finish conventionally."""
+    def execute(
+        self, partial: PartialPlan, *, executor: Optional[str] = None
+    ) -> QueryResult:
+        """Run the bounded prefix, materialise it, and finish conventionally.
+
+        ``executor`` overrides the bounded prefix's execution mode
+        ("row"/"columnar") for this call; the default is the mode the
+        optimizer was constructed with.
+        """
         start = time.perf_counter()
-        executor = BoundedPlanExecutor(self._catalog, dedup_keys=self._dedup_keys)
+        executor = BoundedPlanExecutor(
+            self._catalog,
+            dedup_keys=self._dedup_keys,
+            executor=executor or self._executor_mode,
+            rows_per_batch=self._rows_per_batch,
+        )
         prefix_result = executor.execute(partial.sub_plan)
 
         temp_table = Table(partial.temp_schema)
@@ -217,6 +233,8 @@ class BEPlanOptimizer:
         plan = plan_conjunctive_query(partial.residual_cq, statistics)
         metrics = ExecutionMetrics()
         metrics.tuples_fetched = prefix_result.metrics.tuples_fetched
+        metrics.rows_per_batch = prefix_result.metrics.rows_per_batch
+        metrics.batches = prefix_result.metrics.batches
         metrics.operations.extend(prefix_result.metrics.operations)
         physical = PhysicalExecutor(overlay, self._profile, metrics)
         result = physical.run(plan)

@@ -36,6 +36,9 @@ class ExecutionMetrics:
     cache_hits: int = 0  # serving-cache hits while answering this request
     cache_misses: int = 0  # serving-cache misses while answering this request
     served_from_cache: bool = False  # rows came from the result cache
+    # --- columnar-executor counters (engine.columnar) ---
+    rows_per_batch: int = 0  # configured batch size (0 = row executor)
+    batches: int = 0  # column batches processed (fetch inputs + tail)
     # --- sharded-serving counters: per-request concurrency events ---
     lock_wait_seconds: float = 0.0  # time blocked on schema + shard locks
     # the consistent per-table data-version vector this answer was computed

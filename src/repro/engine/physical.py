@@ -10,12 +10,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.sql import ast
 from repro.sql.normalize import Attribute
 from repro.storage.database import Database
+from repro.engine.columnar import (
+    ColumnarIntermediate,
+    columnar_values,
+    resolve_rows_per_batch,
+)
 from repro.engine.expressions import compile_expression, compile_predicate
 from repro.engine.logical import (
     AggregateNode,
@@ -72,6 +77,16 @@ class PhysicalExecutor:
 
     # ------------------------------------------------------------------ #
     def run(self, node: PlanNode) -> Intermediate:
+        if self._profile.executor == "columnar":
+            chain = ColumnarTailExecutor.match(node)
+            if chain is not None:
+                child = self.run(chain.child)  # scans/joins stay row-wise
+                source = ColumnarIntermediate.from_rows(child.labels, child.rows)
+                tail = ColumnarTailExecutor(
+                    self._metrics,
+                    resolve_rows_per_batch(self._profile.rows_per_batch or None),
+                )
+                return tail.run(chain, source)
         if isinstance(node, ScanNode):
             return self._scan(node)
         if isinstance(node, FilterNode):
@@ -475,6 +490,406 @@ class PhysicalExecutor:
             time.perf_counter() - start,
         )
         return Intermediate(left.labels, rows)
+
+
+@dataclass
+class _TailChain:
+    """The canonical tail shape ``attach_tail`` produces, root to leaf:
+    Limit? -> Distinct? -> Project -> Sort? -> Aggregate? -> child."""
+
+    limit: Optional[LimitNode]
+    distinct: Optional[DistinctNode]
+    project: ProjectNode
+    sort: Optional[SortNode]
+    aggregate: Optional[AggregateNode]
+    child: PlanNode
+
+
+class ColumnarTailExecutor:
+    """Batch-aware tail operators over a :class:`ColumnarIntermediate`.
+
+    The tail is consumed in batches of ``rows_per_batch`` live rows:
+    aggregation folds batch streams into per-group accumulators, DISTINCT
+    keeps one seen-set across batches, and LIMIT stops pulling batches as
+    soon as the cutoff is reached (slicing mid-batch). Operation labels
+    and tuple counts match the row operators, so Fig.-3-style breakdowns
+    compare across modes; only ``ExecutionMetrics.batches`` is new.
+    """
+
+    def __init__(self, metrics: ExecutionMetrics, rows_per_batch: int):
+        self._metrics = metrics
+        self.rows_per_batch = rows_per_batch
+        metrics.rows_per_batch = rows_per_batch
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def match(node: PlanNode) -> Optional[_TailChain]:
+        """Recognise the canonical tail chain; None -> run row-wise."""
+        limit = distinct = sort = aggregate = None
+        if isinstance(node, LimitNode):
+            limit = node
+            node = node.child
+        if isinstance(node, DistinctNode):
+            distinct = node
+            node = node.child
+        if not isinstance(node, ProjectNode):
+            return None
+        project = node
+        node = node.child
+        if isinstance(node, SortNode):
+            sort = node
+            node = node.child
+        if isinstance(node, AggregateNode):
+            aggregate = node
+            node = node.child
+        return _TailChain(limit, distinct, project, sort, aggregate, node)
+
+    # ------------------------------------------------------------------ #
+    def run(self, chain: _TailChain, source: ColumnarIntermediate) -> Intermediate:
+        if chain.aggregate is not None:
+            source = self._aggregate(chain.aggregate, source)
+        if chain.sort is not None:
+            source = self._sort(chain.sort, source)
+        labels: list[object] = [item.name for item in chain.project.items]
+        rows = self._stream(chain, source)
+        return Intermediate(labels, rows)
+
+    # ------------------------------------------------------------------ #
+    def _aggregate(
+        self, node: AggregateNode, inter: ColumnarIntermediate
+    ) -> ColumnarIntermediate:
+        start = time.perf_counter()
+        layout = inter.layout
+        group_positions = [layout[attr] for attr in node.group_by]
+        factories = [
+            _columnar_accumulator(call, layout) for call in node.calls
+        ]
+        groups: dict[tuple, list] = {}
+        rows_in = 0
+
+        # fast path: grouped COUNT(*) folds to a pure counting pass
+        counting_only = bool(group_positions) and all(
+            mode == "count_star" for _, _, _, mode in factories
+        )
+
+        for batch in inter.iter_batches(self.rows_per_batch):
+            self._metrics.batches += 1
+            rows_in += len(batch)
+            if group_positions:
+                group_columns = [
+                    [inter.columns[p][i] for i in batch] for p in group_positions
+                ]
+                keys: Sequence[tuple] = list(zip(*group_columns))
+            else:
+                keys = [()] * len(batch)
+            if counting_only:
+                for key in keys:
+                    states = groups.get(key)
+                    if states is None:
+                        groups[key] = [[1] for _ in factories]
+                    else:
+                        for state in states:
+                            state[0] += 1
+                continue
+            value_lists = []
+            for _, _, _, mode in factories:
+                if mode == "count_star":
+                    value_lists.append(None)
+                elif mode == "row":
+                    value_lists.append(
+                        [
+                            tuple(column[i] for column in inter.columns)
+                            for i in batch
+                        ]
+                    )
+                else:
+                    value_lists.append(
+                        columnar_values(mode, layout, inter.columns, batch)
+                    )
+            if len(factories) == 1:
+                # hoisted single-aggregate loop (no per-row zip dispatch)
+                make, update = factories[0][0], factories[0][1]
+                values = value_lists[0]
+                for j, key in enumerate(keys):
+                    states = groups.get(key)
+                    if states is None:
+                        states = [make()]
+                        groups[key] = states
+                    update(states[0], values[j] if values is not None else None)
+                continue
+            for j, key in enumerate(keys):
+                states = groups.get(key)
+                if states is None:
+                    states = [make() for make, _, _, _ in factories]
+                    groups[key] = states
+                for state, (_, update, _, _), values in zip(
+                    states, factories, value_lists
+                ):
+                    update(state, values[j] if values is not None else None)
+
+        if not group_positions and not groups:
+            # scalar aggregate over no rows still yields one group
+            groups[()] = [make() for make, _, _, _ in factories]
+
+        labels: list[object] = list(node.group_by) + list(node.calls)
+        rows = [
+            key
+            + tuple(
+                finalize(state)
+                for state, (_, _, finalize, _) in zip(states, factories)
+            )
+            for key, states in groups.items()
+        ]
+        result = ColumnarIntermediate.from_rows(labels, rows)
+        if node.having is not None:
+            aggregate_values = {
+                call: result.layout[call] for call in node.calls
+            }
+            predicate = compile_predicate(
+                node.having, result.layout, aggregate_values
+            )
+            rows = [row for row in rows if predicate(row)]
+            result = ColumnarIntermediate.from_rows(labels, rows)
+        self._metrics.record(
+            "aggregate", rows_in, len(rows), time.perf_counter() - start
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _sort(
+        self, node: SortNode, inter: ColumnarIntermediate
+    ) -> ColumnarIntermediate:
+        start = time.perf_counter()
+        layout = inter.layout
+        aggregate_values = {
+            label: index
+            for label, index in layout.items()
+            if isinstance(label, ast.FunctionCall)
+        }
+        indices = list(inter.live)
+        # stable sorts applied last-key-first, exactly like the row operator
+        for order in reversed(node.order_by):
+            values = columnar_values(
+                order.expression, layout, inter.columns, indices, aggregate_values
+            )
+            ranks = sorted(
+                range(len(indices)),
+                key=lambda k: _sort_key(values[k]),
+                reverse=not order.ascending,
+            )
+            indices = [indices[k] for k in ranks]
+        self._metrics.record(
+            "sort", len(indices), len(indices), time.perf_counter() - start
+        )
+        return ColumnarIntermediate(
+            inter.labels, inter.columns, inter.count, sel=indices
+        )
+
+    # ------------------------------------------------------------------ #
+    def _stream(self, chain: _TailChain, inter: ColumnarIntermediate) -> list[Row]:
+        """Project -> distinct -> limit over the batch stream, with an
+        early stop once LIMIT is satisfied mid-batch."""
+        start = time.perf_counter()
+        layout = inter.layout
+        aggregate_values = {
+            label: index
+            for label, index in layout.items()
+            if isinstance(label, ast.FunctionCall)
+        }
+        items = chain.project.items
+        plain_positions: list[Optional[int]] = []
+        for item in items:
+            expr = item.expression
+            if isinstance(expr, ast.ColumnRef):
+                label = (
+                    Attribute(expr.table, expr.name) if expr.table else expr.name
+                )
+                plain_positions.append(layout.get(label))
+            else:
+                plain_positions.append(None)
+
+        offset = chain.limit.offset or 0 if chain.limit is not None else 0
+        end: Optional[int] = None
+        if chain.limit is not None and chain.limit.limit is not None:
+            end = offset + chain.limit.limit
+
+        seen: Optional[set] = set() if chain.distinct is not None else None
+        out_rows: list[Row] = []
+        project_in = project_out = distinct_out = position = 0
+        project_seconds = distinct_seconds = 0.0
+        stop = False
+
+        for batch in inter.iter_batches(self.rows_per_batch):
+            self._metrics.batches += 1
+            project_in += len(batch)
+            stage_start = time.perf_counter()
+            columns = [
+                inter.columns[position_fast]
+                if position_fast is not None
+                else None
+                for position_fast in plain_positions
+            ]
+            gathered = [
+                [column[i] for i in batch]
+                if column is not None
+                else columnar_values(
+                    item.expression, layout, inter.columns, batch, aggregate_values
+                )
+                for column, item in zip(columns, items)
+            ]
+            rows: list[Row] = list(zip(*gathered)) if gathered else [()] * len(batch)
+            project_out += len(rows)
+            project_seconds += time.perf_counter() - stage_start
+
+            if seen is not None:
+                stage_start = time.perf_counter()
+                fresh: list[Row] = []
+                for row in rows:
+                    if row not in seen:
+                        seen.add(row)
+                        fresh.append(row)
+                rows = fresh
+                distinct_out += len(rows)
+                distinct_seconds += time.perf_counter() - stage_start
+
+            if chain.limit is not None:
+                for row in rows:
+                    if end is not None and position >= end:
+                        stop = True
+                        break
+                    if position >= offset:
+                        out_rows.append(row)
+                    position += 1
+                if stop:
+                    break
+            else:
+                out_rows.extend(rows)
+
+        self._metrics.record("project", project_in, project_out, project_seconds)
+        if chain.distinct is not None:
+            self._metrics.record(
+                "distinct", project_out, distinct_out, distinct_seconds
+            )
+        if chain.limit is not None:
+            limit_in = distinct_out if chain.distinct is not None else project_out
+            self._metrics.record("limit", limit_in, len(out_rows), 0.0)
+        return out_rows
+
+
+def _columnar_accumulator(call: ast.FunctionCall, layout: dict[object, int]):
+    """Streaming accumulator for one aggregate call.
+
+    Returns ``(make, update, finalize, mode)`` where ``mode`` selects the
+    per-batch input: ``"count_star"`` (no argument; eligible for the
+    counting fast path), ``"row"`` (full row tuples, for
+    ``COUNT(DISTINCT *)``), or the argument expression itself. Finalised
+    values match
+    :meth:`PhysicalExecutor._compile_aggregate` exactly — same NULL
+    handling and the same accumulation order for float sums.
+    """
+    if call.name == "COUNT" and isinstance(call.args[0], ast.Star):
+        if call.distinct:
+            return (set, lambda s, v: s.add(v), len, "row")
+        return (
+            lambda: [0],
+            lambda s, v: s.__setitem__(0, s[0] + 1),
+            lambda s: s[0],
+            "count_star",
+        )
+
+    argument = call.args[0]
+    name = call.name
+    if name == "COUNT":
+        if call.distinct:
+
+            def update_count_distinct(s: set, v) -> None:
+                if v is not None:
+                    s.add(v)
+
+            return (set, update_count_distinct, len, argument)
+
+        def update_count(s: list, v) -> None:
+            if v is not None:
+                s[0] += 1
+
+        return (lambda: [0], update_count, lambda s: s[0], argument)
+    if name == "SUM":
+        if call.distinct:
+
+            def update_sum_distinct(s: set, v) -> None:
+                if v is not None:
+                    s.add(v)
+
+            return (
+                set,
+                update_sum_distinct,
+                lambda s: sum(s) if s else None,
+                argument,
+            )
+
+        def update_sum(s: list, v) -> None:
+            if v is not None:
+                s[0] += v
+                s[1] = True
+
+        return (
+            lambda: [0, False],
+            update_sum,
+            lambda s: s[0] if s[1] else None,
+            argument,
+        )
+    if name == "AVG":
+        if call.distinct:
+
+            def update_avg_distinct(s: set, v) -> None:
+                if v is not None:
+                    s.add(v)
+
+            return (
+                set,
+                update_avg_distinct,
+                lambda s: sum(s) / len(s) if s else None,
+                argument,
+            )
+
+        def update_avg(s: list, v) -> None:
+            if v is not None:
+                s[0] += v
+                s[1] += 1
+
+        return (
+            lambda: [0, 0],
+            update_avg,
+            lambda s: s[0] / s[1] if s[1] else None,
+            argument,
+        )
+    if name == "MIN":
+
+        def update_min(s: list, v) -> None:
+            if v is not None and (not s[1] or v < s[0]):
+                s[0] = v
+                s[1] = True
+
+        return (
+            lambda: [None, False],
+            update_min,
+            lambda s: s[0] if s[1] else None,
+            argument,
+        )
+    if name == "MAX":
+
+        def update_max(s: list, v) -> None:
+            if v is not None and (not s[1] or v > s[0]):
+                s[0] = v
+                s[1] = True
+
+        return (
+            lambda: [None, False],
+            update_max,
+            lambda s: s[0] if s[1] else None,
+            argument,
+        )
+    raise ExecutionError(f"unsupported aggregate {name}")  # pragma: no cover
 
 
 def _dedupe(rows: list[Row]) -> list[Row]:

@@ -29,12 +29,22 @@ class EngineProfile:
     join_algorithm: str = "hash"  # 'hash' | 'sort_merge' | 'block_nested'
     row_overhead: int = 0  # synthetic per-scanned-row work units
     block_size: int = 1024  # for block-nested-loop joins
+    # 'row' interprets every operator tuple-at-a-time; 'columnar' runs the
+    # tail operators (aggregate/sort/project/distinct/limit) over
+    # per-attribute column batches (engine.columnar). Scans and joins stay
+    # row-oriented in either mode.
+    executor: str = "row"  # 'row' | 'columnar'
+    rows_per_batch: int = 0  # columnar batch size; 0 = engine default
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("hash", "sort_merge", "block_nested"):
             raise ValueError(f"unknown join algorithm {self.join_algorithm!r}")
         if self.row_overhead < 0:
             raise ValueError("row_overhead must be >= 0")
+        if self.executor not in ("row", "columnar"):
+            raise ValueError(f"unknown executor mode {self.executor!r}")
+        if self.rows_per_batch < 0:
+            raise ValueError("rows_per_batch must be >= 0")
 
 
 # Overheads are calibrated so the profiles reproduce the paper's consistent

@@ -176,6 +176,8 @@ class AsyncBEASServer:
                 self._in_flight -= 1
 
     async def execute(self, query, **options) -> "BEASResult":
+        """Options are forwarded to :meth:`BEASServer.execute` verbatim —
+        including ``executor="columnar"`` for a per-query vectorised run."""
         return await self._run(partial(self._server.execute, query, **options))
 
     async def execute_prepared(

@@ -106,8 +106,13 @@ class PreparedQuery:
         allow_partial: bool = True,
         approximate_over_budget: bool = False,
         use_result_cache: bool = True,
+        executor: Optional[str] = None,
     ) -> "BEASResult":
-        """Execute one binding through the serving caches."""
+        """Execute one binding through the serving caches.
+
+        ``executor`` overrides the bounded execution mode
+        ("row"/"columnar") for this call only.
+        """
         return self._server.execute_prepared(
             self,
             params,
@@ -115,6 +120,7 @@ class PreparedQuery:
             allow_partial=allow_partial,
             approximate_over_budget=approximate_over_budget,
             use_result_cache=use_result_cache,
+            executor=executor,
         )
 
     __call__ = execute

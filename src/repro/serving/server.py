@@ -318,8 +318,14 @@ class BEASServer:
         allow_partial: bool = True,
         approximate_over_budget: bool = False,
         use_result_cache: bool = True,
+        executor: Optional[str] = None,
     ) -> BEASResult:
-        """One-shot execution through the serving caches (no prepare)."""
+        """One-shot execution through the serving caches (no prepare).
+
+        ``executor`` selects the bounded execution mode ("row" or
+        "columnar") for this query only; answers are mode-independent,
+        so cached results are shared across modes.
+        """
         statement, fingerprint, tables, parse_hit = self._frontend(query)
         return self._execute(
             statement,
@@ -330,6 +336,7 @@ class BEASServer:
             approximate_over_budget=approximate_over_budget,
             use_result_cache=use_result_cache,
             parse_hit=parse_hit,
+            executor=executor,
         )
 
     def execute_prepared(
@@ -341,6 +348,7 @@ class BEASServer:
         allow_partial: bool = True,
         approximate_over_budget: bool = False,
         use_result_cache: bool = True,
+        executor: Optional[str] = None,
     ) -> BEASResult:
         """Execute a prepared query (by handle or name) for one binding."""
         if isinstance(prepared, str):
@@ -355,6 +363,7 @@ class BEASServer:
             approximate_over_budget=approximate_over_budget,
             use_result_cache=use_result_cache,
             parse_hit=True,  # the template parse is amortised
+            executor=executor,
         )
 
     def check(
@@ -617,6 +626,7 @@ class BEASServer:
         approximate_over_budget: bool,
         use_result_cache: bool,
         parse_hit: bool,
+        executor: Optional[str] = None,
     ) -> BEASResult:
         with self._admin_lock:
             self._executions += 1
@@ -648,6 +658,7 @@ class BEASServer:
                     hits=hits,
                     misses=misses,
                     lock_wait=lock_wait,
+                    executor=executor,
                 )
             finally:
                 release_read_ordered(shards)
@@ -669,6 +680,7 @@ class BEASServer:
         hits: int,
         misses: int,
         lock_wait: float,
+        executor: Optional[str] = None,
     ) -> BEASResult:
         # the consistent table-version vector this request observes: read
         # under the shard read locks, so no dependency can move under us
@@ -726,6 +738,7 @@ class BEASServer:
             budget=budget,
             allow_partial=allow_partial,
             approximate_over_budget=approximate_over_budget,
+            executor=executor,
         )
         result.metrics.cache_hits += hits
         result.metrics.cache_misses += misses

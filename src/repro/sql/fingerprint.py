@@ -12,8 +12,9 @@ that are semantics-preserving under SQL's three-valued logic:
 
 * flatten a top-level ``AND`` chain and sort the conjuncts by printed
   text (``AND`` is commutative and associative; no side effects exist);
-* sort the members of an ``IN`` / ``NOT IN`` list whose items are all
-  literals (membership is order-independent).
+* sort and deduplicate the members of an ``IN`` / ``NOT IN`` list whose
+  items are all literals (membership is order- and
+  multiplicity-independent).
 
 Deeper equivalences (predicate implication, join reordering under
 dependencies) are out of scope — a missed equivalence costs a cache
@@ -63,9 +64,20 @@ def canonical_expression(expr: ast.Expression) -> ast.Expression:
     if isinstance(expr, ast.InList):
         items = tuple(canonical_expression(i) for i in expr.items)
         if all(isinstance(i, ast.Literal) for i in items):
-            items = tuple(
-                sorted(items, key=lambda i: (str(type(i.value)), repr(i.value)))
-            )
+            # sort, then dedupe: membership is order- and
+            # multiplicity-independent, so ``x IN (1, 1, 2)`` must share a
+            # cache line with ``x IN (1, 2)``. The dedup key includes the
+            # type so e.g. 1 and '1' (or 1 and True) stay distinct.
+            deduped: list[ast.Literal] = []
+            seen: set[tuple[str, str]] = set()
+            for item in sorted(
+                items, key=lambda i: (str(type(i.value)), repr(i.value))
+            ):
+                marker = (str(type(item.value)), repr(item.value))
+                if marker not in seen:
+                    seen.add(marker)
+                    deduped.append(item)
+            items = tuple(deduped)
         return ast.InList(canonical_expression(expr.operand), items, expr.negated)
     if isinstance(expr, ast.Between):
         return ast.Between(

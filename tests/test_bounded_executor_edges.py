@@ -159,6 +159,132 @@ class TestNullHandling:
         result, _ = run(db, access, sql)
         assert set(result.rows) == {("c",)}
 
+    def test_index_fetch_null_key_never_matches(self):
+        """The fetch primitive implements ``X = key``: under three-valued
+        logic a NULL key part matches nothing — even when base rows with
+        a genuinely-NULL X-value exist and hold a bucket."""
+        from repro import AccessIndex
+
+        db = make_db([(None, "b0", "c0"), ("k1", "b1", "c1")])
+        index = AccessIndex(
+            AccessConstraint("r", ["a"], ["c"], 5, name="by_a"),
+            db.table("r"),
+        )
+        # the NULL-keyed bucket exists for storage/maintenance accounting…
+        assert index.key_count == 2
+        # …but an equality lookup never reaches it
+        assert index.fetch((None,)) == []
+        assert index.fetch_many([(None,), ("k1",)]) == [("c1",)]
+        assert index.fetch(("k1",)) == [("c1",)]
+
+    @pytest.mark.parametrize("executor", ["row", "columnar"])
+    @pytest.mark.parametrize("dedup_keys", [False, True])
+    def test_dedup_null_join_keys_differential(self, executor, dedup_keys):
+        """NULL-bearing join keys with key dedup on/off: answers must
+        match the scan-based engine, and the index must never be probed
+        with a NULL-bearing key (so dedup has no NULL keys to conflate)."""
+        schema = DatabaseSchema(
+            [
+                TableSchema("s", [("k", DataType.STRING), ("tag", DataType.STRING)]),
+                TableSchema("t", [("k", DataType.STRING), ("v", DataType.STRING)]),
+            ]
+        )
+        db = Database(schema)
+        for row in [
+            (None, "g1"), ("k1", "g1"), ("k1", "g2"), (None, "g2"), ("k2", "g1"),
+        ]:
+            db.insert("s", row)
+        for row in [("k1", "v1"), ("k1", "v2"), ("k2", "v3"), (None, "vnull")]:
+            db.insert("t", row)
+        access = AccessSchema(
+            [
+                AccessConstraint("s", ["tag"], ["k"], 5, name="s_by_tag"),
+                AccessConstraint("t", ["k"], ["v"], 5, name="t_by_k"),
+            ]
+        )
+        sql = (
+            "SELECT DISTINCT t.v FROM s, t "
+            "WHERE s.tag IN ('g1', 'g2') AND s.k = t.k"
+        )
+        catalog = ASCatalog(db, access)
+        probed: list[tuple] = []
+        for index in (catalog.index_for(c) for c in access):
+            original = index.fetch
+            index.fetch = lambda key, _orig=original: (
+                probed.append(tuple(key)) or _orig(key)
+            )
+        checker = BoundedEvaluabilityChecker(db.schema, access)
+        decision = checker.check(sql)
+        assert decision.covered, decision.reasons
+        result = BoundedPlanExecutor(
+            catalog, dedup_keys=dedup_keys, executor=executor
+        ).execute(decision.plan)
+        host = ConventionalEngine(db).execute(sql)
+        assert set(result.rows) == set(host.rows) == {("v1",), ("v2",), ("v3",)}
+        assert all(None not in key for key in probed), probed
+
+    @pytest.mark.parametrize("executor", ["row", "columnar"])
+    def test_dedup_distinct_null_bearing_keys_not_conflated(self, executor):
+        """Two-part fetch keys that differ only in their non-NULL part:
+        key dedup must not fold them together, and neither may match
+        (a NULL part makes the whole key unmatchable under 3VL)."""
+        schema = DatabaseSchema(
+            [
+                TableSchema(
+                    "s",
+                    [
+                        ("tag", DataType.STRING),
+                        ("k1", DataType.STRING),
+                        ("k2", DataType.STRING),
+                        ("e", DataType.STRING),
+                    ],
+                ),
+                TableSchema(
+                    "t",
+                    [
+                        ("k1", DataType.STRING),
+                        ("k2", DataType.STRING),
+                        ("v", DataType.STRING),
+                    ],
+                ),
+            ]
+        )
+        db = Database(schema)
+        for row in [
+            ("g", None, "a", "e1"),  # distinct NULL-bearing keys: (None, 'a')…
+            ("g", None, "b", "e2"),  # …and (None, 'b') must stay distinct
+            ("g", "x", "a", "e3"),   # matches
+            ("g", "x", "a", "e4"),   # same key, distinct row: dedup folds it
+            ("g", "x", None, "e5"),
+        ]:
+            db.insert("s", row)
+        db.insert("t", ("x", "a", "v1"))
+        db.insert("t", (None, "a", "vnull"))  # NULL-keyed base row
+        access = AccessSchema(
+            [
+                AccessConstraint(
+                    "s", ["tag"], ["k1", "k2", "e"], 8, name="s_by_tag"
+                ),
+                AccessConstraint("t", ["k1", "k2"], ["v"], 8, name="t_by_k"),
+            ]
+        )
+        sql = (
+            "SELECT DISTINCT t.v FROM s, t WHERE s.tag = 'g' "
+            "AND s.k1 = t.k1 AND s.k2 = t.k2"
+        )
+        host = ConventionalEngine(db).execute(sql)
+        assert set(host.rows) == {("v1",)}
+        results = {}
+        for dedup_keys in (False, True):
+            result, _ = run(
+                db, access, sql, dedup_keys=dedup_keys, executor=executor
+            )
+            assert set(result.rows) == {("v1",)}
+            results[dedup_keys] = result.metrics.tuples_fetched
+        # dedup saves exactly the repeated ('x', 'a') probe; the two
+        # NULL-bearing keys contribute no fetches in either mode
+        assert results[True] < results[False]
+
 
 class TestChainConsistency:
     def test_overlapping_y_columns_filter_consistently(self):

@@ -62,6 +62,13 @@ class TestExamples:
         assert "packages-of-100 retained (cache hit: True)" in proc.stdout
         assert "serving stats:" in proc.stdout
 
+    def test_columnar_executor(self):
+        proc = run_example("columnar_executor.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "one bounded plan, two executors" in proc.stdout
+        assert "accounting are identical across modes" in proc.stdout
+        assert "per-query selection through the serving layer" in proc.stdout
+
     def test_async_serving(self):
         proc = run_example("async_serving.py")
         assert proc.returncode == 0, proc.stderr

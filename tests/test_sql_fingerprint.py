@@ -31,6 +31,29 @@ class TestFingerprintStability:
         b = "SELECT a FROM r WHERE a IN (1, 2, 3)"
         assert statement_fingerprint(a) == statement_fingerprint(b)
 
+    def test_in_list_duplicates_share_a_cache_line(self):
+        """Membership is multiplicity-independent: ``IN (1, 1, 2)`` and
+        ``IN (1, 2)`` must not occupy separate cache lines."""
+        a = "SELECT a FROM r WHERE a IN (1, 1, 2)"
+        b = "SELECT a FROM r WHERE a IN (1, 2)"
+        c = "SELECT a FROM r WHERE a IN (2, 1, 2, 1)"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+        assert statement_fingerprint(c) == statement_fingerprint(b)
+
+    def test_not_in_list_duplicates_share_a_cache_line(self):
+        a = "SELECT a FROM r WHERE a NOT IN ('x', 'x', 'y')"
+        b = "SELECT a FROM r WHERE a NOT IN ('y', 'x')"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_in_list_dedup_is_type_aware(self):
+        """1 and '1' are different members — dedup must not conflate
+        across types, and a deduped list stays distinct from a subset."""
+        a = "SELECT a FROM r WHERE a IN (1, '1')"
+        b = "SELECT a FROM r WHERE a IN (1)"
+        c = "SELECT a FROM r WHERE a IN (1, 2)"
+        assert statement_fingerprint(a) != statement_fingerprint(b)
+        assert statement_fingerprint(b) != statement_fingerprint(c)
+
     def test_or_order_is_preserved(self):
         """OR is commutative too, but we only canonicalise AND chains —
         a missed equivalence is just a cache miss, never a wrong answer."""
