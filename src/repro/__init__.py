@@ -45,6 +45,7 @@ from repro.access.schema import AccessSchema
 from repro.access.index import AccessIndex
 from repro.access.catalog import ASCatalog
 from repro.engine.executor import ConventionalEngine, QueryResult
+from repro.engine.pool import EnginePool, PoolStats
 from repro.engine.profiles import EngineProfile, MARIADB, MYSQL, POSTGRESQL, PROFILES
 from repro.bounded.coverage import BoundedEvaluabilityChecker, CoverageDecision
 from repro.bounded.planner import BoundedPlanGenerator
@@ -72,6 +73,8 @@ __all__ = [
     "ConventionalEngine",
     "QueryResult",
     "EngineProfile",
+    "EnginePool",
+    "PoolStats",
     "POSTGRESQL",
     "MYSQL",
     "MARIADB",

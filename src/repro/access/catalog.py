@@ -129,6 +129,13 @@ class ASCatalog:
     def constraints_for(self, relation: str) -> list[AccessConstraint]:
         return self.schema.constraints_for(relation)
 
+    def index_map(self) -> dict[str, AccessIndex]:
+        """A shallow snapshot of every built index, keyed by constraint
+        name. The engine pool pickles this as the per-worker warm catalog
+        snapshot — workers answer fetches exclusively from these indices
+        and physically cannot scan base tables."""
+        return dict(self._indexes)
+
     def statistics(self) -> list[IndexStatistics]:
         """The catalog's statistics table, one row per index."""
         return list(self._statistics.values())

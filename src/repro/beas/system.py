@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import weakref
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,8 +38,14 @@ from repro.access.schema import AccessSchema
 from repro.errors import BudgetExceededError
 from repro.sql import ast
 from repro.storage.database import Database
-from repro.engine.columnar import resolve_executor_mode
+from repro.engine.columnar import resolve_executor_mode, resolve_rows_per_batch
 from repro.engine.executor import ConventionalEngine
+from repro.engine.pool import (
+    EnginePool,
+    PoolStats,
+    resolve_dispatch,
+    resolve_parallelism,
+)
 from repro.engine.profiles import EngineProfile, POSTGRESQL
 from repro.bounded.analyzer import PerformanceAnalysis, PerformanceAnalyzer
 from repro.bounded.approximation import BoundedApproximator
@@ -62,20 +69,43 @@ class BEAS:
         dedup_keys: bool = False,
         executor: Optional[str] = None,
         rows_per_batch: Optional[int] = None,
+        parallelism: Optional[int] = None,
+        parallel_dispatch: Optional[str] = None,
     ):
         """``executor`` selects the bounded pipeline's execution mode:
         ``"row"`` (tuple-at-a-time, the default) or ``"columnar"``
         (vectorised batches, see :mod:`repro.engine.columnar`); ``None``
         defers to the ``BEAS_EXECUTOR`` environment variable. Both modes
         return identical answers — the choice only trades execution
-        strategy. ``rows_per_batch`` sizes columnar batches."""
+        strategy. ``rows_per_batch`` sizes columnar batches.
+
+        ``parallelism`` sets the bounded pipeline's worker-process count
+        (:class:`~repro.engine.pool.EnginePool`): ``1`` is in-process,
+        ``>= 2`` executes bounded plans and column batches on worker
+        processes; ``None`` defers to ``BEAS_PARALLELISM``, then to the
+        host profile's ``parallelism``. ``parallel_dispatch`` picks the
+        fan-out unit (``"plan"``, ``"batch"``, or the default
+        ``"auto"``). Pooled answers are identical to in-process ones —
+        the pool only escapes the GIL; any pool failure falls back to
+        in-process execution. All engine options are validated here and
+        raise :class:`~repro.errors.BEASError` when invalid."""
         self.database = database
         self.catalog = ASCatalog(database, access_schema)
         self.host_profile = host_profile
         self._require_exact = require_exact_multiplicities
         self._dedup_keys = dedup_keys
         self.executor = resolve_executor_mode(executor)
-        self._rows_per_batch = rows_per_batch
+        # resolved (and validated) eagerly: a bad size fails construction
+        # with a clear BEASError, and every executor this instance builds
+        # later shares one pinned batch size even if the environment
+        # default changes afterwards
+        self._rows_per_batch = resolve_rows_per_batch(rows_per_batch)
+        self.parallelism = resolve_parallelism(
+            parallelism, default=host_profile.parallelism
+        )
+        self._parallel_dispatch = resolve_dispatch(parallel_dispatch)
+        self._pool: Optional[EnginePool] = None
+        self._pool_lock = threading.Lock()
         self._host = ConventionalEngine(database, host_profile)
         self._host_engines: dict[str, ConventionalEngine] = {
             host_profile.name: self._host
@@ -97,6 +127,8 @@ class BEAS:
                 dedup_keys=self._dedup_keys,
                 executor=self.executor,
                 rows_per_batch=self._rows_per_batch,
+                pool=self._pool_provider,
+                dispatch=self._parallel_dispatch,
             )
         }
         self._executor = self._executors[self.executor]
@@ -106,8 +138,62 @@ class BEAS:
             dedup_keys=self._dedup_keys,
             executor=self.executor,
             rows_per_batch=self._rows_per_batch,
+            pool=self._pool_provider,
+            dispatch=self._parallel_dispatch,
         )
         self._approximator = BoundedApproximator(self.catalog)
+
+    # ------------------------------------------------------------------ #
+    # the engine pool (parallel bounded execution)
+    # ------------------------------------------------------------------ #
+    def _pool_provider(self) -> Optional[EnginePool]:
+        """The shared worker pool, created on first pooled execution.
+
+        Lazy so that the (many) BEAS instances that never execute a
+        bounded plan in parallel don't fork worker processes; ``None``
+        when ``parallelism`` keeps execution in-process.
+        """
+        if self.parallelism < 2:
+            return None
+        pool = self._pool
+        if pool is None or pool.closed:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None or pool.closed:
+                    pool = EnginePool(self.parallelism)
+                    self._pool = pool
+                    # workers are daemonic, but close deterministically
+                    # when this BEAS is collected (test suites build many)
+                    weakref.finalize(self, EnginePool.close, pool)
+        return pool
+
+    @property
+    def pool(self) -> Optional[EnginePool]:
+        """The engine pool, if one has been started (inspection only —
+        executions start it on demand)."""
+        return self._pool
+
+    def pool_stats(self) -> Optional[PoolStats]:
+        pool = self._pool
+        return pool.stats() if pool is not None and not pool.closed else None
+
+    def close(self) -> None:
+        """Shut down the engine pool's worker processes (idempotent).
+
+        Subsequent pooled executions transparently restart the pool; the
+        workers are daemonic either way, so an unclosed BEAS cannot
+        outlive the interpreter.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "BEAS":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def bounded_executor(self, executor: Optional[str] = None) -> BoundedPlanExecutor:
         """The BE Plan Executor for one mode (instances are memoised).
@@ -123,6 +209,8 @@ class BEAS:
                 dedup_keys=self._dedup_keys,
                 executor=mode,
                 rows_per_batch=self._rows_per_batch,
+                pool=self._pool_provider,
+                dispatch=self._parallel_dispatch,
             )
             self._executors[mode] = engine
         return engine

@@ -32,6 +32,17 @@ logic — an equality against NULL is UNKNOWN), whether the part comes
 from a materialised column or an enumerated constant, and key dedup
 never conflates distinct NULL-bearing keys because such keys are never
 presented at all.
+
+With an :class:`~repro.engine.pool.EnginePool` attached, the columnar
+pipeline additionally runs **in parallel across worker processes**:
+whole plans are shipped to one worker (``dispatch="plan"``), or each
+fetch's input batches fan out across idle workers (``"batch"``;
+``"auto"`` tries the plan route first). Per-worker fetch accounting is
+merged deterministically (see :mod:`repro.engine.pool`), so the pooled
+mode keeps the same bound arithmetic and ``dedup_keys`` semantics; the
+cross-process differential suite (``tests/test_parallel_differential``)
+locks all three modes together. Any pool failure falls back to
+in-process execution — answers are never wrong, only slower.
 """
 
 from __future__ import annotations
@@ -55,6 +66,13 @@ from repro.engine.logical import MaterializedNode, SetOpNode
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.physical import ColumnarTailExecutor, Intermediate, PhysicalExecutor
 from repro.engine.planner import attach_tail
+from repro.engine.pool import (
+    EnginePool,
+    FetchChunkSpec,
+    merge_dedup_counts,
+    resolve_dispatch,
+    run_fetch_chunk,
+)
 from repro.engine.profiles import EngineProfile
 from repro.bounded.plan import AnyBoundedPlan, BoundedPlan, FetchOp, SelectOp, SetOpPlan
 
@@ -143,26 +161,53 @@ class _KeyPlan:
             if valid:
                 yield tuple(key)
 
-    def keys_for_columns(
-        self, columns: list[list], index: int, key_parts_len: int
-    ):
-        """Like :meth:`keys_for`, reading the input row from per-attribute
-        columns at physical position ``index`` (columnar fetch)."""
-        for combo in self._const_combos():
-            key = [None] * key_parts_len
-            for group_index, positions in enumerate(self.group_positions):
-                for position in positions:
-                    key[position] = combo[group_index]
-            valid = True
-            for i, position in enumerate(self.column_positions):
-                if position is not None:
-                    value = columns[position][index]
-                    if value is None:
-                        valid = False  # SQL: NULL never joins
-                        break
-                    key[i] = value
-            if valid:
-                yield tuple(key)
+    def chunk_spec(self, parts_len: int, track_gather: bool) -> FetchChunkSpec:
+        """The fetch-chunk kernel spec with slots = real intermediate
+        positions (the in-process columnar path hands the kernel the full
+        column list)."""
+        return FetchChunkSpec(
+            parts_len=parts_len,
+            column_slots=tuple(self.column_positions),
+            group_value_lists=tuple(self.group_value_lists),
+            group_positions=tuple(tuple(p) for p in self.group_positions),
+            x_new=tuple(self.x_new),
+            y_new=tuple(self.y_new),
+            y_existing=tuple(self.y_existing),
+            track_gather=track_gather,
+        )
+
+    def wire_spec(
+        self, parts_len: int, track_gather: bool
+    ) -> tuple[FetchChunkSpec, list[int]]:
+        """The same spec in compact *wire* terms: slots index the list of
+        needed columns only, so a dispatched chunk pickles just the
+        columns the key plan actually reads (key sources + existing-Y
+        consistency checks), not the whole intermediate."""
+        needed: list[int] = []
+        slot_of: dict[int, int] = {}
+
+        def slot(position: int) -> int:
+            if position not in slot_of:
+                slot_of[position] = len(needed)
+                needed.append(position)
+            return slot_of[position]
+
+        column_slots = tuple(
+            slot(position) if position is not None else None
+            for position in self.column_positions
+        )
+        y_existing = tuple((i, slot(position)) for i, position in self.y_existing)
+        spec = FetchChunkSpec(
+            parts_len=parts_len,
+            column_slots=column_slots,
+            group_value_lists=tuple(self.group_value_lists),
+            group_positions=tuple(tuple(p) for p in self.group_positions),
+            x_new=tuple(self.x_new),
+            y_new=tuple(self.y_new),
+            y_existing=y_existing,
+            track_gather=track_gather,
+        )
+        return spec, needed
 
 
 class BoundedPlanExecutor:
@@ -175,19 +220,75 @@ class BoundedPlanExecutor:
         dedup_keys: bool = False,
         executor: Optional[str] = None,
         rows_per_batch: Optional[int] = None,
+        pool=None,
+        dispatch: Optional[str] = None,
     ):
+        """``pool`` is an :class:`~repro.engine.pool.EnginePool`, a
+        zero-argument provider returning one (or ``None``) — BEAS passes
+        a provider so workers fork only when pooled work actually runs —
+        or ``None`` for in-process execution."""
         self._catalog = catalog
         self._dedup_keys = dedup_keys
         self.executor = resolve_executor_mode(executor)
         self.rows_per_batch = resolve_rows_per_batch(rows_per_batch)
+        self._pool = pool
+        self._dispatch = resolve_dispatch(dispatch)
+
+    def _pool_active(self) -> Optional[EnginePool]:
+        pool = self._pool
+        if pool is not None and not isinstance(pool, EnginePool):
+            pool = pool()  # lazy provider
+        if pool is None or pool.closed:
+            return None
+        return pool
+
+    def _snapshot_state(self):
+        """The warm-snapshot key for the catalog's current state plus the
+        payload builder the pool pickles on a miss.
+
+        The key is the access-schema generation and the data version of
+        every table an access constraint covers — exactly the state a
+        worker's indices reflect — so any maintenance on a covered table
+        forces a fresh snapshot before the next dispatched task. The
+        index map is captured at the same instant as the version vector
+        (not when the pool later pickles it), keeping key and payload
+        consistent; the serving layer's shard read locks additionally
+        pin the indices' contents for the duration of an execute.
+        """
+        catalog = self._catalog
+        database = catalog.database
+        tables = {constraint.relation for constraint in catalog.schema}
+        payload = catalog.index_map()
+        versions = tuple(
+            sorted(
+                (name, database.table(name).version)
+                for name in tables
+                if name in database
+            )
+        )
+        return (catalog.schema_generation, versions), lambda: payload
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: AnyBoundedPlan) -> QueryResult:
         metrics = ExecutionMetrics()
-        if self.executor == "columnar":
+        pool = self._pool_active()
+        if self.executor == "columnar" or pool is not None:
+            # pooled execution always runs the columnar pipeline (the wire
+            # format is column batches); answers are mode-independent
             metrics.rows_per_batch = self.rows_per_batch
         start = time.perf_counter()
+        if (
+            pool is not None
+            and self._dispatch in ("auto", "plan")
+            and isinstance(plan, BoundedPlan)
+        ):
+            outcome = self._execute_pooled_plan(pool, plan)
+            if outcome is not None:
+                outcome.metrics.seconds = time.perf_counter() - start
+                return outcome
         intermediate = self._run(plan, metrics)
+        if pool is not None:
+            metrics.pool_workers = pool.workers
         metrics.seconds = time.perf_counter() - start
         metrics.rows_output = len(intermediate.rows)
         columns = [
@@ -195,6 +296,26 @@ class BoundedPlanExecutor:
             for label in intermediate.labels
         ]
         return QueryResult(columns=columns, rows=intermediate.rows, metrics=metrics)
+
+    def _execute_pooled_plan(
+        self, pool: EnginePool, plan: BoundedPlan
+    ) -> Optional[QueryResult]:
+        """Ship the whole plan to one worker; ``None`` means fall back."""
+        snapshot_key, payload_fn = self._snapshot_state()
+        outcome = pool.execute_plan(
+            snapshot_key,
+            payload_fn,
+            plan,
+            dedup=self._dedup_keys,
+            rows_per_batch=self.rows_per_batch,
+        )
+        if outcome is None:
+            return None
+        columns, rows, metrics, wait = outcome
+        metrics.pool_workers = pool.workers
+        metrics.pool_batches = metrics.batches
+        metrics.pool_wait_seconds = wait
+        return QueryResult(columns=columns, rows=rows, metrics=metrics)
 
     def _run(self, plan: AnyBoundedPlan, metrics: ExecutionMetrics) -> Intermediate:
         if isinstance(plan, SetOpPlan):
@@ -210,7 +331,7 @@ class BoundedPlanExecutor:
                 self._catalog.database, _NEUTRAL_PROFILE, metrics
             )
             return executor.run(node)
-        if self.executor == "columnar":
+        if self.executor == "columnar" or self._pool_active() is not None:
             return self._run_select_columnar(plan, metrics)
         return self._run_select(plan, metrics)
 
@@ -356,65 +477,87 @@ class BoundedPlanExecutor:
         metrics: ExecutionMetrics,
     ) -> ColumnarIntermediate:
         """Batch fetch: resolve the key batch, gather all postings, then
-        materialise the output column by column (no per-row tuples)."""
+        materialise the output column by column (no per-row tuples).
+
+        With an attached pool (``dispatch`` allowing batch fan-out) the
+        input batches are executed on worker processes via the same
+        :func:`~repro.engine.pool.run_fetch_chunk` kernel the in-process
+        path uses; batches the pool cannot serve run locally, and the
+        merged accounting is identical either way.
+        """
         start = time.perf_counter()
         index = self._catalog.index_for(op.constraint)
         key_plan = _KeyPlan(op, intermediate.layout)
         labels = intermediate.labels + key_plan.new_labels
         parts_len = len(op.key_parts)
         columns = intermediate.columns
-        y_existing = key_plan.y_existing
-        x_new, y_new = key_plan.x_new, key_plan.y_new
-
-        cache: dict[tuple, list[tuple]] = {}
         dedup = self._dedup_keys
-        fetched = 0
-        out_count = 0
         rows_in = intermediate.live_count
         # one gather position per output row (skipped entirely when there
         # are no input columns to replicate), plus the new columns' values
         track_gather = bool(columns)
-        gather: list[int] = []
-        new_x_columns: list[list] = [[] for _ in x_new]
-        new_y_columns: list[list] = [[] for _ in y_new]
 
-        for batch in intermediate.iter_batches(self.rows_per_batch):
-            metrics.batches += 1
-            # resolve the whole key batch first, then gather its postings
-            batch_keys: list[tuple[int, tuple]] = []
-            for i in batch:
-                for key_tuple in key_plan.keys_for_columns(columns, i, parts_len):
-                    batch_keys.append((i, key_tuple))
-            for i, key_tuple in batch_keys:
-                if dedup:
-                    bucket = cache.get(key_tuple)
-                    if bucket is None:
-                        bucket = index.fetch(key_tuple)
-                        cache[key_tuple] = bucket
-                        fetched += len(bucket)
-                else:
-                    bucket = index.fetch(key_tuple)
-                    fetched += len(bucket)
-                if not bucket:
-                    continue
-                if y_existing:
-                    bucket = [
-                        y_value
-                        for y_value in bucket
-                        if all(
-                            y_value[j] == columns[pos][i] for j, pos in y_existing
-                        )
-                    ]
-                    if not bucket:
-                        continue
-                matches = len(bucket)
-                out_count += matches
-                if track_gather:
-                    gather.extend([i] * matches)
-                for column, j in zip(new_x_columns, x_new):
-                    column.extend([key_tuple[j]] * matches)
-                for column, j in zip(new_y_columns, y_new):
-                    column.extend([y_value[j] for y_value in bucket])
+        chunks = list(intermediate.iter_batches(self.rows_per_batch))
+        metrics.batches += len(chunks)
+
+        pool = self._pool_active()
+        use_pool = (
+            pool is not None
+            and self._dispatch in ("auto", "batch")
+            and len(chunks) > 1
+            # cheap pre-flight: building the wire-format column copies is
+            # the expensive part, so skip it when no worker looks idle
+            # (racy, but losing the race only means one serial fetch)
+            and pool.idle_count() > 0
+        )
+        if use_pool:
+            spec, needed = key_plan.wire_spec(parts_len, track_gather)
+            payloads = [
+                ([[columns[p][i] for i in chunk] for p in needed], len(chunk))
+                for chunk in chunks
+            ]
+            snapshot_key, payload_fn = self._snapshot_state()
+            results, remote, wait = pool.run_fetch_chunks(
+                snapshot_key,
+                payload_fn,
+                op.constraint.name,
+                spec,
+                payloads,
+                dedup=dedup,
+                local_fn=lambda payload: run_fetch_chunk(
+                    index.fetch, spec, payload[0], range(payload[1]), dedup
+                ),
+            )
+            metrics.pool_batches += remote
+            metrics.pool_wait_seconds += wait
+            if dedup:
+                fetched = merge_dedup_counts(results)
+            else:
+                fetched = sum(result.fetched for result in results)
+            # map chunk-local gathers back to global physical positions
+            gather: list[int] = []
+            if track_gather:
+                for chunk, result in zip(chunks, results):
+                    gather.extend(chunk[g] for g in result.gather)
+        else:
+            spec = key_plan.chunk_spec(parts_len, track_gather)
+            cache: Optional[dict] = {} if dedup else None
+            results = [
+                run_fetch_chunk(index.fetch, spec, columns, chunk, dedup, cache)
+                for chunk in chunks
+            ]
+            fetched = sum(result.fetched for result in results)
+            gather = [g for result in results for g in result.gather]
+
+        out_count = sum(result.out_count for result in results)
+        new_x_columns = [
+            [value for result in results for value in result.x_columns[k]]
+            for k in range(len(key_plan.x_new))
+        ]
+        new_y_columns = [
+            [value for result in results for value in result.y_columns[k]]
+            for k in range(len(key_plan.y_new))
+        ]
 
         self._enforce_bound(op, fetched)
         out_columns = [

@@ -136,12 +136,16 @@ class BEPlanOptimizer:
         dedup_keys: bool = False,
         executor: Optional[str] = None,
         rows_per_batch: Optional[int] = None,
+        pool=None,
+        dispatch: Optional[str] = None,
     ):
         self._catalog = catalog
         self._profile = profile
         self._dedup_keys = dedup_keys
         self._executor_mode = executor
         self._rows_per_batch = rows_per_batch
+        self._pool = pool
+        self._dispatch = dispatch
         self._generator = BoundedPlanGenerator(
             catalog.database.schema, catalog.schema
         )
@@ -208,6 +212,8 @@ class BEPlanOptimizer:
             dedup_keys=self._dedup_keys,
             executor=executor or self._executor_mode,
             rows_per_batch=self._rows_per_batch,
+            pool=self._pool,
+            dispatch=self._dispatch,
         )
         prefix_result = executor.execute(partial.sub_plan)
 
@@ -235,6 +241,9 @@ class BEPlanOptimizer:
         metrics.tuples_fetched = prefix_result.metrics.tuples_fetched
         metrics.rows_per_batch = prefix_result.metrics.rows_per_batch
         metrics.batches = prefix_result.metrics.batches
+        metrics.pool_workers = prefix_result.metrics.pool_workers
+        metrics.pool_batches = prefix_result.metrics.pool_batches
+        metrics.pool_wait_seconds = prefix_result.metrics.pool_wait_seconds
         metrics.operations.extend(prefix_result.metrics.operations)
         physical = PhysicalExecutor(overlay, self._profile, metrics)
         result = physical.run(plan)

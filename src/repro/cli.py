@@ -61,7 +61,13 @@ def _load_database(data_dir: Path) -> Database:
 def _build_beas(args: argparse.Namespace) -> BEAS:
     database = _load_database(Path(args.data))
     schema = load_schema(Path(args.schema)) if args.schema else None
-    return BEAS(database, schema)
+    return BEAS(
+        database,
+        schema,
+        executor=getattr(args, "executor", None),
+        rows_per_batch=getattr(args, "rows_per_batch", None),
+        parallelism=getattr(args, "parallelism", None),
+    )
 
 
 def _read_query(args: argparse.Namespace) -> str:
@@ -182,10 +188,17 @@ def _parse_params(raw: Optional[Sequence[str]], slots) -> dict:
 
 
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    beas = _build_beas(args)
+    try:
+        return _serve_stats(args, beas)
+    finally:
+        beas.close()  # shut pool workers down even when the run errors
+
+
+def _serve_stats(args: argparse.Namespace, beas: BEAS) -> int:
     import threading
     import time
 
-    beas = _build_beas(args)
     server = beas.serve(sharded=not args.baseline)
     prepared = server.prepare(_read_query(args), name="cli-query")
     params = _parse_params(args.param, prepared.slots) or None
@@ -195,16 +208,35 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
         ))
     repeats = max(args.repeat, 1)
     latencies: list[float] = []
-    result = None
+    cold_result = result = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = prepared.execute(params, budget=args.budget)
         latencies.append(time.perf_counter() - start)
-    assert result is not None
+        if cold_result is None:
+            cold_result = result
+    assert result is not None and cold_result is not None
     print(
         f"{len(result.rows)} rows via {result.mode.value} evaluation; "
         f"last run served_from_cache={result.metrics.served_from_cache}"
     )
+    # executor/pool counters of the cold run (cached replays report no
+    # execution work): which pipeline answered, how batched, and how
+    # much of it ran on engine-pool workers
+    metrics = cold_result.metrics
+    executor_mode = "columnar" if metrics.rows_per_batch else beas.executor
+    line = (
+        f"executor: mode={executor_mode} "
+        f"rows_per_batch={metrics.rows_per_batch} "
+        f"batches={metrics.batches} fetched={metrics.tuples_fetched}"
+    )
+    if beas.parallelism > 1:
+        line += (
+            f"; pool: workers={metrics.pool_workers} "
+            f"dispatched={metrics.pool_batches} "
+            f"wait={metrics.pool_wait_seconds * 1000:.2f} ms"
+        )
+    print(line)
     warm = latencies[1:] or latencies
     print(
         f"latency: cold {latencies[0] * 1000:.2f} ms, "
@@ -345,6 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         action="store_true",
         help="serve through the single-lock (unsharded) baseline server",
+    )
+    serve_stats.add_argument(
+        "--executor",
+        choices=["row", "columnar"],
+        help="bounded execution mode (default: BEAS_EXECUTOR or row)",
+    )
+    serve_stats.add_argument(
+        "--rows-per-batch",
+        type=int,
+        dest="rows_per_batch",
+        help="columnar batch size (default: BEAS_ROWS_PER_BATCH or 4096)",
+    )
+    serve_stats.add_argument(
+        "--parallelism",
+        type=int,
+        help="bounded-pipeline worker processes (>= 2 enables the engine "
+        "pool; default: BEAS_PARALLELISM or in-process)",
     )
     serve_stats.set_defaults(handler=_cmd_serve_stats)
 

@@ -9,6 +9,7 @@ rationale.
 """
 
 from repro.engine.executor import ConventionalEngine, QueryResult
+from repro.engine.pool import EnginePool, PoolStats, resolve_parallelism
 from repro.engine.profiles import EngineProfile, POSTGRESQL, MYSQL, MARIADB, PROFILES
 from repro.engine.metrics import ExecutionMetrics
 
@@ -16,7 +17,10 @@ __all__ = [
     "ConventionalEngine",
     "QueryResult",
     "EngineProfile",
+    "EnginePool",
     "ExecutionMetrics",
+    "PoolStats",
+    "resolve_parallelism",
     "POSTGRESQL",
     "MYSQL",
     "MARIADB",

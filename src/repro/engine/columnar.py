@@ -27,7 +27,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
-from repro.errors import ExecutionError
+from repro.errors import BEASError, ExecutionError
 from repro.sql import ast
 from repro.sql.normalize import Attribute
 from repro.engine.expressions import (
@@ -56,12 +56,29 @@ def resolve_executor_mode(executor: Optional[str]) -> str:
 
 def resolve_rows_per_batch(rows_per_batch: Optional[int]) -> int:
     """Resolve the batch size: explicit argument, else the
-    ``BEAS_ROWS_PER_BATCH`` environment variable, else the default."""
+    ``BEAS_ROWS_PER_BATCH`` environment variable, else the default.
+
+    Rejects non-integer or non-positive sizes with
+    :class:`~repro.errors.BEASError` at construction time, before any
+    query runs into them.
+    """
     if rows_per_batch is None:
         raw = os.environ.get("BEAS_ROWS_PER_BATCH")
-        rows_per_batch = int(raw) if raw else DEFAULT_ROWS_PER_BATCH
+        if not raw:
+            return DEFAULT_ROWS_PER_BATCH
+        try:
+            rows_per_batch = int(raw)
+        except ValueError:
+            raise BEASError(
+                f"BEAS_ROWS_PER_BATCH must be an integer, got {raw!r}"
+            ) from None
+    if not isinstance(rows_per_batch, int) or isinstance(rows_per_batch, bool):
+        raise BEASError(
+            f"rows_per_batch must be an int, got "
+            f"{type(rows_per_batch).__name__} ({rows_per_batch!r})"
+        )
     if rows_per_batch < 1:
-        raise ExecutionError("rows_per_batch must be >= 1")
+        raise BEASError(f"rows_per_batch must be >= 1, got {rows_per_batch}")
     return rows_per_batch
 
 

@@ -39,6 +39,10 @@ class ExecutionMetrics:
     # --- columnar-executor counters (engine.columnar) ---
     rows_per_batch: int = 0  # configured batch size (0 = row executor)
     batches: int = 0  # column batches processed (fetch inputs + tail)
+    # --- engine-pool counters (engine.pool): parallel bounded execution ---
+    pool_workers: int = 0  # worker processes available to this execution
+    pool_batches: int = 0  # column batches / whole plans run on workers
+    pool_wait_seconds: float = 0.0  # time blocked acquiring pool workers
     # --- sharded-serving counters: per-request concurrency events ---
     lock_wait_seconds: float = 0.0  # time blocked on schema + shard locks
     # the consistent per-table data-version vector this answer was computed

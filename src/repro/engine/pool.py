@@ -1,0 +1,912 @@
+"""Multiprocessing engine pool for parallel bounded execution.
+
+The columnar executor (PR 3) cut single-thread compute 2-3x, but every
+bounded plan still runs on one GIL-bound thread: concurrent clients of
+the serving layer serialise on the interpreter even when their queries
+touch disjoint data. The :class:`EnginePool` breaks that ceiling by
+executing bounded work on **worker processes**:
+
+* **Whole-plan dispatch** — an independent covered query ships its
+  :class:`~repro.bounded.plan.BoundedPlan` to one worker, which runs the
+  full columnar pipeline (fetch/select + batch tail) and returns rows +
+  metrics. This is the serving layer's fan-out unit: N client threads
+  drive N workers concurrently, each outside the parent's GIL.
+* **Batch dispatch** — a single large query splits each fetch's input
+  into ``rows_per_batch`` column chunks and fans the chunks out across
+  idle workers. The wire format is the pickled per-attribute columns of
+  :class:`~repro.engine.columnar.ColumnarIntermediate` — only the
+  columns the fetch's key plan actually reads are shipped.
+* **Warm catalog snapshots** — each worker holds the access indices
+  (``ASCatalog.index_map()``) keyed by a *snapshot key*: the access
+  schema generation plus the per-table data version vector. A task
+  carries the key it was planned under; a worker whose installed
+  snapshot differs answers ``stale`` and the master re-sends the
+  snapshot before retrying, so a worker can never compute over data the
+  master has since mutated. Workers hold **only** indices — they have no
+  base tables, so like the paper's bounded plans they physically cannot
+  scan.
+* **Graceful fallback** — no pool, no idle worker, a dead worker, or a
+  plan outside the parallelisable fragment all fall back to in-process
+  execution. Answers are never wrong, only slower; the chaos suite
+  (``tests/test_pool_chaos.py``) locks this in.
+
+Accounting is merged deterministically: every chunk reports its fetched
+count (plain mode) or its distinct key -> bucket-size map (``dedup_keys``
+mode); the master sums counts, or unions the key maps and sums bucket
+sizes, which equals the serial single-cache accounting exactly. The §3
+bound arithmetic is enforced by the master on the merged totals.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import BEASError, ReproError
+
+#: Dispatch strategies for a pooled bounded execution.
+DISPATCH_MODES = ("auto", "plan", "batch")
+
+
+def resolve_parallelism(
+    parallelism: Optional[int], default: int = 0
+) -> int:
+    """Resolve the worker-process count: explicit argument, else the
+    ``BEAS_PARALLELISM`` environment variable, else ``default`` (usually
+    the engine profile's ``parallelism``), else 1 (in-process).
+
+    Explicit values must be positive integers (1 = in-process, >= 2
+    enables the pool); anything else raises
+    :class:`~repro.errors.BEASError` at construction time.
+    """
+    if parallelism is None:
+        raw = os.environ.get("BEAS_PARALLELISM")
+        if raw:
+            try:
+                parallelism = int(raw)
+            except ValueError:
+                raise BEASError(
+                    f"BEAS_PARALLELISM must be an integer, got {raw!r}"
+                ) from None
+        else:
+            return max(default, 1)
+    if not isinstance(parallelism, int) or isinstance(parallelism, bool):
+        raise BEASError(
+            f"parallelism must be an int, got "
+            f"{type(parallelism).__name__} ({parallelism!r})"
+        )
+    if parallelism < 1:
+        raise BEASError(f"parallelism must be >= 1, got {parallelism}")
+    return parallelism
+
+
+def resolve_dispatch(dispatch: Optional[str]) -> str:
+    mode = dispatch or "auto"
+    if mode not in DISPATCH_MODES:
+        raise BEASError(
+            f"unknown pool dispatch {mode!r} (expected one of "
+            f"{', '.join(DISPATCH_MODES)})"
+        )
+    return mode
+
+
+# --------------------------------------------------------------------------- #
+# the fetch-chunk kernel (shared by the serial executor and the workers)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FetchChunkSpec:
+    """Resolved fetch-key layout in *slot* terms.
+
+    A slot indexes the column list the kernel is handed — the full
+    intermediate's columns in-process, or the compact wire columns on a
+    worker. Built by ``bounded.executor._KeyPlan``; the enumeration
+    semantics (constant groups, NULL-key skipping, Y-consistency) are
+    identical in both placements because this is the single
+    implementation.
+    """
+
+    parts_len: int
+    column_slots: tuple  # per key part: slot or None (constant part)
+    group_value_lists: tuple  # enumerated constants per group
+    group_positions: tuple  # key positions each group fills
+    x_new: tuple  # key positions appended as new X columns
+    y_new: tuple  # Y positions appended as new Y columns
+    y_existing: tuple  # (y position, slot) pairs that must match
+    track_gather: bool  # replicate existing columns via a gather list
+
+    def keys_at(self, columns: Sequence[list], index: int):
+        """Yield the fully resolved key tuples for one input row; yields
+        nothing when any key part — column-sourced or constant — is NULL
+        (SQL three-valued logic: an equality against NULL is UNKNOWN)."""
+        for combo in self._const_combos():
+            key = [None] * self.parts_len
+            for group_index, positions in enumerate(self.group_positions):
+                for position in positions:
+                    key[position] = combo[group_index]
+            valid = True
+            for i, slot in enumerate(self.column_slots):
+                if slot is not None:
+                    value = columns[slot][index]
+                    if value is None:
+                        valid = False  # SQL: NULL never joins
+                        break
+                    key[i] = value
+            if valid:
+                yield tuple(key)
+
+    def _const_combos(self):
+        if not self.group_value_lists:
+            return ((),)
+        return (
+            combo
+            for combo in itertools.product(*self.group_value_lists)
+            if None not in combo
+        )
+
+
+@dataclass
+class FetchChunkResult:
+    """One chunk's fetch output, position-relative to the kernel input."""
+
+    gather: list  # input index per output row (when track_gather)
+    x_columns: list  # new X columns (chunk-local)
+    y_columns: list  # new Y columns (chunk-local)
+    out_count: int
+    fetched: int  # tuples fetched by this chunk (see key_counts for dedup)
+    key_counts: Optional[dict] = None  # dedup: distinct key -> bucket size
+
+
+def run_fetch_chunk(
+    fetch: Callable[[tuple], list],
+    spec: FetchChunkSpec,
+    columns: Sequence[list],
+    indices: Sequence[int],
+    dedup: bool,
+    cache: Optional[dict] = None,
+) -> FetchChunkResult:
+    """Run one fetch chunk: resolve each input row's keys, gather the
+    index postings, filter against existing Y columns, and emit the new
+    columns chunk-locally.
+
+    ``cache`` (dedup mode) carries the shared key cache of a serial
+    execution; ``fetched`` then counts only keys *new to the cache*,
+    matching the single-threaded accounting. Without a shared cache the
+    chunk dedups locally and reports ``key_counts`` so the master can
+    merge across chunks deterministically (union keys, sum bucket
+    sizes — equal to the serial count because bucket sizes are a pure
+    function of the key).
+    """
+    local_counts: Optional[dict] = None
+    if dedup and cache is None:
+        cache = {}
+        local_counts = {}
+    fetched = 0
+    gather: list = []
+    x_columns: list[list] = [[] for _ in spec.x_new]
+    y_columns: list[list] = [[] for _ in spec.y_new]
+    out_count = 0
+    y_existing = spec.y_existing
+    track_gather = spec.track_gather
+
+    for i in indices:
+        for key in spec.keys_at(columns, i):
+            if dedup:
+                bucket = cache.get(key)
+                if bucket is None:
+                    bucket = fetch(key)
+                    cache[key] = bucket
+                    fetched += len(bucket)
+                    if local_counts is not None:
+                        local_counts[key] = len(bucket)
+            else:
+                bucket = fetch(key)
+                fetched += len(bucket)
+            if not bucket:
+                continue
+            if y_existing:
+                bucket = [
+                    y_value
+                    for y_value in bucket
+                    if all(y_value[j] == columns[slot][i] for j, slot in y_existing)
+                ]
+                if not bucket:
+                    continue
+            matches = len(bucket)
+            out_count += matches
+            if track_gather:
+                gather.extend([i] * matches)
+            for column, j in zip(x_columns, spec.x_new):
+                column.extend([key[j]] * matches)
+            for column, j in zip(y_columns, spec.y_new):
+                column.extend([y_value[j] for y_value in bucket])
+
+    return FetchChunkResult(
+        gather=gather,
+        x_columns=x_columns,
+        y_columns=y_columns,
+        out_count=out_count,
+        fetched=fetched,
+        key_counts=local_counts,
+    )
+
+
+def merge_dedup_counts(results: Sequence[FetchChunkResult]) -> int:
+    """Merged ``tuples_fetched`` under ``dedup_keys``: each globally
+    distinct key contributes its bucket size once, exactly as one shared
+    cache would count it."""
+    merged: dict = {}
+    for result in results:
+        if result.key_counts:
+            for key, count in result.key_counts.items():
+                merged.setdefault(key, count)
+    return sum(merged.values())
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+class _SnapshotCatalog:
+    """The worker-side stand-in for ``ASCatalog``: indices only.
+
+    ``database`` is deliberately ``None`` — a worker must never scan base
+    data; any plan shape that would need it is reported back as
+    unsupported and re-executed in-process by the master.
+    """
+
+    def __init__(self, indexes: dict):
+        self._indexes = indexes
+        self.database = None
+
+    def index_for(self, constraint) -> Any:
+        index = self._indexes.get(constraint.name)
+        if index is None:
+            raise ReproError(
+                f"worker snapshot has no index for {constraint.name!r}"
+            )
+        return index
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
+    """Worker loop: install snapshots, execute plan / fetch tasks.
+
+    Every compute task carries the snapshot key it was planned under; a
+    mismatch with the installed snapshot answers ``("stale", installed)``
+    instead of computing — the master re-sends the snapshot and retries.
+    """
+    installed_key: Optional[tuple] = None
+    indexes: dict = {}
+    die_next = False
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = task[0]
+        if kind == "exit":
+            conn.close()
+            return
+        if kind == "ping":
+            conn.send(("pong", os.getpid()))
+            continue
+        if kind == "debug":
+            action = task[1]
+            if action == "die":
+                os._exit(17)
+            if action == "die_on_next_task":
+                die_next = True
+                conn.send(("ok",))
+            elif action == "sleep":
+                time.sleep(task[2])
+                conn.send(("ok",))
+            elif action == "set_snapshot_key":
+                # chaos hook: make the installed snapshot *claim* a key
+                # without holding its data — simulates a worker whose
+                # snapshot silently went stale
+                installed_key = task[2]
+                conn.send(("ok",))
+            else:
+                conn.send(("unsupported", f"unknown debug action {action!r}"))
+            continue
+        if kind == "snapshot":
+            installed_key = task[1]
+            indexes = task[2]
+            conn.send(("ok",))
+            continue
+        if die_next:
+            os._exit(17)
+        expected_key = task[1]
+        if expected_key != installed_key:
+            conn.send(("stale", installed_key))
+            continue
+        if kind == "plan":
+            conn.send(_run_plan_task(indexes, task))
+        elif kind == "fetch":
+            conn.send(_run_fetch_task(indexes, task))
+        else:
+            conn.send(("unsupported", f"unknown task kind {kind!r}"))
+
+
+def _run_plan_task(indexes: dict, task: tuple):  # pragma: no cover - subprocess
+    _, _, plan, dedup, rows_per_batch = task
+    try:
+        # imported lazily: bounded.executor imports this module at top level
+        from repro.bounded.executor import BoundedPlanExecutor
+
+        executor = BoundedPlanExecutor(
+            _SnapshotCatalog(indexes),
+            dedup_keys=dedup,
+            executor="columnar",
+            rows_per_batch=rows_per_batch,
+        )
+        result = executor.execute(plan)
+        return ("result", result.columns, result.rows, result.metrics)
+    except ReproError as error:
+        # semantic failure (bound exceeded, type error): identical to the
+        # in-process outcome, so it must propagate, not fall back
+        return ("raise", error)
+    except Exception as error:  # noqa: BLE001 - infra failure -> fallback
+        return ("unsupported", repr(error))
+
+
+def _run_fetch_task(indexes: dict, task: tuple):  # pragma: no cover - subprocess
+    _, _, constraint_name, spec, dedup, payloads = task
+    index = indexes.get(constraint_name)
+    if index is None:
+        return ("unsupported", f"no index for {constraint_name!r}")
+    try:
+        results = [
+            run_fetch_chunk(index.fetch, spec, columns, range(count), dedup)
+            for columns, count in payloads
+        ]
+        return ("chunks", results)
+    except ReproError as error:
+        return ("raise", error)
+    except Exception as error:  # noqa: BLE001
+        return ("unsupported", repr(error))
+
+
+# --------------------------------------------------------------------------- #
+# the pool
+# --------------------------------------------------------------------------- #
+@dataclass
+class PoolStats:
+    """Cumulative counters for one :class:`EnginePool`."""
+
+    workers: int = 0
+    alive: int = 0
+    plans_dispatched: int = 0
+    chunks_dispatched: int = 0
+    snapshots_sent: int = 0
+    stale_retries: int = 0
+    worker_deaths: int = 0
+    respawns: int = 0
+    exhaustion_fallbacks: int = 0
+    fallbacks: int = 0  # tasks that fell back in-process for any reason
+    wait_seconds: float = 0.0  # total time spent acquiring workers
+
+    def describe(self) -> str:
+        return (
+            f"engine pool: {self.alive}/{self.workers} workers alive, "
+            f"{self.plans_dispatched} plans + {self.chunks_dispatched} "
+            f"batches dispatched, {self.snapshots_sent} snapshots sent, "
+            f"{self.stale_retries} stale retries, {self.worker_deaths} "
+            f"deaths ({self.respawns} respawns), {self.fallbacks} "
+            f"fallbacks ({self.exhaustion_fallbacks} on exhaustion), "
+            f"waited {self.wait_seconds * 1000:.2f} ms"
+        )
+
+
+class _Worker:
+    """One worker process plus the master-side bookkeeping for it."""
+
+    __slots__ = ("process", "conn", "snapshot_key", "alive")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.snapshot_key: Optional[tuple] = None
+        self.alive = True
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker's pipe broke mid-roundtrip."""
+
+
+class EnginePool:
+    """A fixed set of worker processes executing bounded work.
+
+    Thread-safe: any number of serving threads may acquire workers
+    concurrently; each worker runs one task at a time. Workers are
+    daemonic, so an abandoned pool cannot outlive the interpreter, and
+    :meth:`close` shuts them down deterministically.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+        acquire_timeout: float = 0.05,
+        task_timeout: float = 120.0,
+    ):
+        """``acquire_timeout`` bounds the wait for an idle worker before
+        falling back in-process; ``task_timeout`` bounds one task's
+        roundtrip — a worker that is alive but wedged past it is
+        terminated and treated as dead (fallback + respawn), so a hung
+        worker can never hang a client thread."""
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise BEASError(
+                f"pool workers must be an int, got {type(workers).__name__}"
+            )
+        if workers < 1:
+            raise BEASError(f"pool workers must be >= 1, got {workers}")
+        # 'fork' where available: worker startup is milliseconds and the
+        # children run nothing but already-imported repro code over their
+        # pipe (no exec, no logging, no new imports), which sidesteps the
+        # classic fork-with-threads hazards. 'forkserver' measured ~0.5 s
+        # per pool here (each worker re-imports the package); set
+        # BEAS_POOL_START_METHOD=forkserver/spawn to trade startup time
+        # for full isolation.
+        method = start_method or os.environ.get("BEAS_POOL_START_METHOD")
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        self._context = multiprocessing.get_context(method)
+        self.workers = workers
+        self.acquire_timeout = acquire_timeout
+        self.task_timeout = task_timeout
+        self._idle: "queue.Queue[_Worker]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._stats = PoolStats(workers=workers)
+        self._all: list[_Worker] = []
+        self._closed = False
+        for _ in range(workers):
+            self._idle.put(self._spawn())
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name="beas-pool-worker",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process, parent_conn)
+        with self._lock:
+            if self._closed:
+                # close() ran while we were forking: this worker would be
+                # orphaned (close() already swept _all), so shut it down
+                # here and hand back a dead handle the callers discard
+                closing = True
+            else:
+                closing = False
+                self._all.append(worker)
+        if closing:
+            self._shutdown_worker(worker)
+        return worker
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut down idle workers; acquired ones exit when released.
+
+        Only workers sitting in the idle queue have their connection
+        touched here — a connection is not thread-safe, and an acquired
+        worker's pipe belongs to the dispatching thread until it calls
+        :meth:`release` (which, on a closed pool, performs the same
+        shutdown from the owning thread).
+        """
+        self._closed = True
+        idle: list[_Worker] = []
+        while True:
+            try:
+                idle.append(self._idle.get_nowait())
+            except queue.Empty:
+                break
+        with self._lock:
+            self._all.clear()
+        for worker in idle:
+            self._shutdown_worker(worker)
+
+    def _shutdown_worker(self, worker: _Worker) -> None:
+        """Exit one worker from the thread that owns its connection."""
+        if worker.alive:
+            try:
+                worker.conn.send(("exit",))
+            except (OSError, ValueError):
+                pass
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        worker.process.join(timeout=2.0)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+        worker.alive = False
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-time best effort
+        try:
+            if not self._closed:
+                self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # worker acquisition
+    # ------------------------------------------------------------------ #
+    def acquire(
+        self,
+        timeout: Optional[float] = None,
+        *,
+        _count_exhaustion: bool = True,
+    ) -> Optional[_Worker]:
+        """An idle worker, or ``None`` when the pool is exhausted/closed.
+
+        The wait is counted into the pool's ``wait_seconds``. Dead
+        workers found in the queue are respawned transparently.
+        """
+        if self._closed:
+            return None
+        if timeout is None:
+            timeout = self.acquire_timeout
+        start = time.perf_counter()
+        try:
+            if timeout <= 0:
+                worker = self._idle.get_nowait()
+            else:
+                worker = self._idle.get(timeout=timeout)
+        except queue.Empty:
+            with self._lock:
+                self._stats.wait_seconds += time.perf_counter() - start
+                if _count_exhaustion:
+                    self._stats.exhaustion_fallbacks += 1
+            return None
+        with self._lock:
+            self._stats.wait_seconds += time.perf_counter() - start
+        if not worker.alive or not worker.process.is_alive():
+            self._note_death(worker)
+            if self._closed:
+                return None
+            worker = self._spawn()
+            if not worker.alive:  # closed mid-spawn
+                return None
+            with self._lock:
+                self._stats.respawns += 1
+        return worker
+
+    def release(self, worker: _Worker) -> None:
+        if self._closed:
+            # close() left acquired workers to their owning threads —
+            # this thread owns the connection, so shut down here
+            self._shutdown_worker(worker)
+            return
+        if worker.alive and worker.process.is_alive():
+            self._idle.put(worker)
+        else:
+            self._note_death(worker)
+            if self._closed:
+                return
+            replacement = self._spawn()
+            if replacement.alive:
+                self._idle.put(replacement)
+                with self._lock:
+                    self._stats.respawns += 1
+
+    def _note_death(self, worker: _Worker) -> None:
+        worker.alive = False
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        with self._lock:
+            if worker in self._all:
+                self._all.remove(worker)
+            self._stats.worker_deaths += 1
+
+    # ------------------------------------------------------------------ #
+    # the task roundtrip
+    # ------------------------------------------------------------------ #
+    def _recv(self, worker: _Worker):
+        """Receive one reply with the task deadline applied: a worker
+        that is alive but wedged past ``task_timeout`` is terminated and
+        reported dead, so a hung worker can only cost time, never hang
+        the dispatching client thread."""
+        if not worker.conn.poll(self.task_timeout):
+            worker.alive = False
+            try:  # pragma: no cover - requires a truly wedged worker
+                worker.process.terminate()
+            except OSError:
+                pass
+            raise _WorkerDied(
+                f"worker task exceeded {self.task_timeout}s deadline"
+            )
+        return worker.conn.recv()
+
+    def _roundtrip(self, worker: _Worker, task: tuple):
+        try:
+            worker.conn.send(task)
+            return self._recv(worker)
+        except (EOFError, OSError, BrokenPipeError) as error:
+            worker.alive = False
+            raise _WorkerDied(str(error)) from error
+
+    def _ensure_snapshot(self, worker: _Worker, key: tuple, payload_fn) -> None:
+        if worker.snapshot_key == key:
+            return
+        reply = self._roundtrip(worker, ("snapshot", key, payload_fn()))
+        if reply != ("ok",):  # pragma: no cover - defensive
+            raise _WorkerDied(f"snapshot install failed: {reply!r}")
+        worker.snapshot_key = key
+        with self._lock:
+            self._stats.snapshots_sent += 1
+
+    def _compute(self, worker: _Worker, key: tuple, payload_fn, task: tuple):
+        """Send one compute task, handling a stale worker snapshot by
+        re-sending the snapshot and retrying once."""
+        self._ensure_snapshot(worker, key, payload_fn)
+        reply = self._roundtrip(worker, task)
+        if reply[0] == "stale":
+            # the worker's installed snapshot disagrees with our
+            # bookkeeping (chaos, or a respawn raced us): re-send and retry
+            with self._lock:
+                self._stats.stale_retries += 1
+            worker.snapshot_key = None
+            self._ensure_snapshot(worker, key, payload_fn)
+            reply = self._roundtrip(worker, task)
+            if reply[0] == "stale":  # pragma: no cover - defensive
+                raise _WorkerDied("worker snapshot remained stale after resend")
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # whole-plan dispatch
+    # ------------------------------------------------------------------ #
+    def execute_plan(
+        self,
+        snapshot_key: tuple,
+        payload_fn,
+        plan,
+        *,
+        dedup: bool,
+        rows_per_batch: int,
+    ):
+        """Run one bounded plan on a worker.
+
+        Returns ``(columns, rows, metrics, wait_seconds)`` on success or
+        ``None`` when the pool cannot serve it (exhausted, worker died,
+        unsupported shape) — the caller falls back in-process. Semantic
+        errors raised by the plan itself
+        (:class:`~repro.errors.ReproError`) propagate.
+        """
+        start = time.perf_counter()
+        worker = self.acquire()
+        wait = time.perf_counter() - start
+        if worker is None:
+            with self._lock:
+                self._stats.fallbacks += 1
+            return None
+        try:
+            reply = self._compute(
+                worker,
+                snapshot_key,
+                payload_fn,
+                ("plan", snapshot_key, plan, dedup, rows_per_batch),
+            )
+        except _WorkerDied:
+            self.release(worker)
+            with self._lock:
+                self._stats.fallbacks += 1
+            return None
+        self.release(worker)
+        if reply[0] == "result":
+            with self._lock:
+                self._stats.plans_dispatched += 1
+            return reply[1], reply[2], reply[3], wait
+        if reply[0] == "raise":
+            raise reply[1]
+        with self._lock:  # unsupported
+            self._stats.fallbacks += 1
+        return None
+
+    # ------------------------------------------------------------------ #
+    # fetch-batch dispatch
+    # ------------------------------------------------------------------ #
+    def run_fetch_chunks(
+        self,
+        snapshot_key: tuple,
+        payload_fn,
+        constraint_name: str,
+        spec: FetchChunkSpec,
+        payloads: list,
+        *,
+        dedup: bool,
+        local_fn: Callable[[tuple], FetchChunkResult],
+    ) -> tuple[list[FetchChunkResult], int, float]:
+        """Fan ``payloads`` (``(wire_columns, count)`` chunks) out across
+        idle workers; any chunk the pool cannot serve runs via
+        ``local_fn``. Returns ``(results_in_order, chunks_on_workers,
+        wait_seconds)``.
+        """
+        n = len(payloads)
+        results: list[Optional[FetchChunkResult]] = [None] * n
+        acquired: list[_Worker] = []
+        # first worker may wait briefly; extras are grabbed only if idle
+        start = time.perf_counter()
+        first = self.acquire()
+        wait = time.perf_counter() - start
+        if first is not None:
+            acquired.append(first)
+            while len(acquired) < min(self.workers, n):
+                # opportunistic extras: failing to grab one is not pool
+                # exhaustion — the fan-out just narrows
+                extra = self.acquire(timeout=0, _count_exhaustion=False)
+                if extra is None:
+                    break
+                acquired.append(extra)
+
+        shares: list[list[int]] = [[] for _ in acquired]
+        for i in range(n):
+            if acquired:
+                shares[i % len(acquired)].append(i)
+        remote = 0
+        pending_local: list[int] = [] if acquired else list(range(n))
+
+        # one roundtrip per worker: send every worker its share, then
+        # collect. A dead worker's share is recomputed locally.
+        inflight: list[tuple[_Worker, list[int]]] = []
+        for worker, share in zip(acquired, shares):
+            if not share:
+                self.release(worker)
+                continue
+            try:
+                self._ensure_snapshot(worker, snapshot_key, payload_fn)
+                worker.conn.send(
+                    (
+                        "fetch",
+                        snapshot_key,
+                        constraint_name,
+                        spec,
+                        dedup,
+                        [payloads[i] for i in share],
+                    )
+                )
+                inflight.append((worker, share))
+            except (_WorkerDied, OSError, BrokenPipeError):
+                worker.alive = False
+                self.release(worker)
+                pending_local.extend(share)
+                with self._lock:
+                    self._stats.fallbacks += len(share)
+
+        semantic_error: Optional[BaseException] = None
+        for worker, share in inflight:
+            try:
+                reply = self._recv(worker)
+            except (_WorkerDied, EOFError, OSError):
+                worker.alive = False
+                self.release(worker)
+                pending_local.extend(share)
+                with self._lock:
+                    self._stats.fallbacks += len(share)
+                continue
+            if reply[0] == "stale":
+                # retry this worker's whole share once with a fresh snapshot
+                with self._lock:
+                    self._stats.stale_retries += 1
+                worker.snapshot_key = None
+                try:
+                    reply = self._compute(
+                        worker,
+                        snapshot_key,
+                        payload_fn,
+                        (
+                            "fetch",
+                            snapshot_key,
+                            constraint_name,
+                            spec,
+                            dedup,
+                            [payloads[i] for i in share],
+                        ),
+                    )
+                except _WorkerDied:
+                    self.release(worker)
+                    pending_local.extend(share)
+                    with self._lock:
+                        self._stats.fallbacks += len(share)
+                    continue
+            if reply[0] == "chunks":
+                for i, chunk_result in zip(share, reply[1]):
+                    results[i] = chunk_result
+                remote += len(share)
+                self.release(worker)
+            elif reply[0] == "raise":
+                # semantic error: remember it, but keep draining the other
+                # in-flight workers so their replies don't poison later tasks
+                self.release(worker)
+                if semantic_error is None:
+                    semantic_error = reply[1]
+            else:  # unsupported
+                self.release(worker)
+                pending_local.extend(share)
+                with self._lock:
+                    self._stats.fallbacks += len(share)
+
+        with self._lock:
+            self._stats.chunks_dispatched += remote
+        if semantic_error is not None:
+            raise semantic_error
+        for i in pending_local:
+            results[i] = local_fn(payloads[i])
+        return (
+            [result for result in results if result is not None],
+            remote,
+            wait,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection / chaos hooks
+    # ------------------------------------------------------------------ #
+    def idle_count(self) -> int:
+        """Approximate number of idle workers (racy by nature: a worker
+        may be taken between the check and a subsequent acquire). Used as
+        a cheap pre-flight so callers skip expensive wire-format
+        preparation when the pool is obviously busy."""
+        if self._closed:
+            return 0
+        return self._idle.qsize()
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            snapshot = replace(self._stats)
+            snapshot.alive = sum(
+                1 for w in self._all if w.alive and w.process.is_alive()
+            )
+        return snapshot
+
+    @property
+    def wait_seconds(self) -> float:
+        with self._lock:
+            return self._stats.wait_seconds
+
+    def debug(self, action: str, *args, worker: Optional[_Worker] = None):
+        """Send a chaos-test hook to one idle worker (or ``worker``).
+
+        Actions: ``die_on_next_task`` (exit mid-task on the next compute
+        task), ``sleep`` (hold the worker busy), ``set_snapshot_key``
+        (silently corrupt the installed snapshot key), ``ping``.
+        """
+        owned = worker is None
+        if owned:
+            worker = self.acquire(timeout=1.0)
+            if worker is None:
+                raise BEASError("no idle worker for debug hook")
+        try:
+            if action == "ping":
+                return self._roundtrip(worker, ("ping",))
+            return self._roundtrip(worker, ("debug", action, *args))
+        finally:
+            if owned:
+                self.release(worker)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return f"EnginePool({self.workers} workers, {state})"

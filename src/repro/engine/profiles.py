@@ -35,6 +35,11 @@ class EngineProfile:
     # row-oriented in either mode.
     executor: str = "row"  # 'row' | 'columnar'
     rows_per_batch: int = 0  # columnar batch size; 0 = engine default
+    # Bounded-pipeline worker processes (engine.pool). 0/1 = in-process;
+    # >= 2 enables the multiprocessing engine pool for BEAS instances
+    # built on this profile. The conventional scan engine itself stays
+    # in-process in every configuration.
+    parallelism: int = 0
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("hash", "sort_merge", "block_nested"):
@@ -45,6 +50,12 @@ class EngineProfile:
             raise ValueError(f"unknown executor mode {self.executor!r}")
         if self.rows_per_batch < 0:
             raise ValueError("rows_per_batch must be >= 0")
+        if not isinstance(self.parallelism, int) or isinstance(
+            self.parallelism, bool
+        ):
+            raise ValueError("parallelism must be an int")
+        if self.parallelism < 0:
+            raise ValueError("parallelism must be >= 0")
 
 
 # Overheads are calibrated so the profiles reproduce the paper's consistent

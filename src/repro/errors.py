@@ -94,6 +94,17 @@ class ConformanceError(AccessSchemaError):
         self.violations = violations or []
 
 
+class BEASError(ReproError):
+    """Invalid BEAS configuration.
+
+    Raised at construction time for bad engine options — a non-integer
+    or non-positive ``rows_per_batch``/``parallelism``, an invalid
+    ``BEAS_PARALLELISM``/``BEAS_ROWS_PER_BATCH`` environment override,
+    or an unknown pool dispatch strategy — so misconfiguration fails
+    with a clear message instead of a downstream execution error.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised when a physical plan fails during execution."""
 

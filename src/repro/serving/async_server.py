@@ -18,6 +18,11 @@ threads driving one sharded :class:`~repro.serving.server.BEASServer`:
   amortising executor latency while preserving per-batch atomicity
   (REJECT semantics are per submitted batch, exactly as in the
   synchronous API).
+* **Engine-pool dispatch** — when the underlying BEAS was built with
+  ``parallelism >= 2``, each worker thread's bounded execution ships its
+  plan to a :class:`~repro.engine.pool.EnginePool` worker *process*, so
+  concurrent CPU-bound clients escape the GIL instead of time-slicing
+  it; the pool's counters surface through ``stats().serving.pool``.
 
 Typical use::
 

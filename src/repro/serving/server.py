@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING, Any, Hashable, Mapping, Optional, Union
 
 from repro.beas.result import BEASResult, ExecutionMode
 from repro.engine.metrics import ExecutionMetrics
+from repro.engine.pool import PoolStats
 from repro.errors import ServingError
 from repro.sql import ast
 from repro.sql.fingerprint import statement_fingerprint, statement_tables
@@ -113,6 +114,10 @@ class ServingStats:
     shards: dict[str, ShardStats] = field(default_factory=dict)
     schema_lock: Optional[LockStats] = None
     admission_declines: int = 0
+    # engine-pool counters (None while no pool has started): requests on
+    # this server dispatch bounded work to the BEAS instance's worker
+    # processes when it was built with parallelism >= 2
+    pool: Optional[PoolStats] = None
 
     @property
     def lock_wait_seconds(self) -> float:
@@ -144,6 +149,8 @@ class ServingStats:
             f"  lock contention: {self.contended_acquisitions} contended "
             f"acquisitions, waited {self.lock_wait_seconds * 1000:.2f} ms",
         ]
+        if self.pool is not None:
+            lines.append(f"  {self.pool.describe()}")
         for name in sorted(self.shards):
             lines.append(f"  {self.shards[name].describe()}")
         return "\n".join(lines)
@@ -529,6 +536,7 @@ class BEASServer:
             shards=snapshots,
             schema_lock=replace(self._schema_lock.stats),
             admission_declines=declines,
+            pool=self._beas.pool_stats(),
         )
 
     def reset_caches(self) -> None:

@@ -2,7 +2,10 @@
 
 The exported format writes a header with ``name:type`` per column so a table
 round-trips without a separate schema file. NULL is encoded as the empty
-string; empty strings are encoded as ``""``.
+string; empty strings are encoded as ``""``. A *literal* string value that
+itself looks like a quoted cell (``"..."``) is wrapped in one extra pair of
+quotes so it cannot collide with the empty-string sentinel — every value
+round-trips exactly.
 """
 
 from __future__ import annotations
@@ -28,6 +31,16 @@ def _encode(value: object) -> str:
         return _QUOTED_EMPTY
     if isinstance(value, bool):
         return "true" if value else "false"
+    if (
+        isinstance(value, str)
+        and len(value) >= 2
+        and value[0] == '"'
+        and value[-1] == '"'
+    ):
+        # a literal "..."-shaped string would be indistinguishable from
+        # the empty-string sentinel (or a previously wrapped value):
+        # wrap it in one more quote pair, undone symmetrically on decode
+        return f'"{value}"'
     return str(value)
 
 
@@ -36,6 +49,8 @@ def _decode(text: str, dtype: DataType) -> object:
         return None
     if text == _QUOTED_EMPTY:
         return "" if dtype is DataType.STRING else coerce_value("", dtype)
+    if len(text) >= 4 and text[0] == '"' and text[-1] == '"':
+        return coerce_value(text[1:-1], dtype)
     return coerce_value(text, dtype)
 
 

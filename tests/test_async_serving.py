@@ -36,8 +36,15 @@ def make_beas() -> BEAS:
 
 # --------------------------------------------------------------------------- #
 def test_gathered_clients_share_the_caches():
+    # parallelism pinned to 1: with an engine pool the 12 clients overlap
+    # for real, so how many of them race past the second-hit admission
+    # before the first answer lands becomes timing-dependent
+    beas = BEAS(
+        example1_database(), example1_access_schema(), parallelism=1
+    )
+
     async def scenario():
-        async with make_beas().serve_async(max_workers=4) as aserver:
+        async with beas.serve_async(max_workers=4) as aserver:
             results = await asyncio.gather(
                 *(aserver.execute(CALL_SQL) for _ in range(12))
             )

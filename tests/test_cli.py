@@ -229,6 +229,65 @@ class TestServeStats:
         assert "shard call:" in out
         assert "lock contention:" in out
 
+    def test_executor_counters_reported_for_row_mode(self, workspace, capsys):
+        """Regression for the PR 3 columnar fields: serve-stats must
+        surface the executor counters of the cold run (row mode: no
+        batching, real fetch count)."""
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "3",
+                # pinned: the CI matrix legs force BEAS_EXECUTOR/
+                # BEAS_PARALLELISM env defaults that would otherwise turn
+                # this row-mode run columnar or pooled
+                "--executor", "row", "--parallelism", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executor: mode=row rows_per_batch=0 batches=0" in out
+        assert "fetched=" in out
+        assert "pool:" not in out  # no pool at parallelism 1
+
+    def test_columnar_executor_counters_reported(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "2",
+                "--executor", "columnar", "--rows-per-batch", "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executor: mode=columnar rows_per_batch=8" in out
+        assert "batches=" in out and "batches=0" not in out
+
+    def test_parallelism_reports_pool_counters(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--repeat", "3", "--parallelism", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pool: workers=2 dispatched=" in out
+        assert "engine pool: 2/2 workers alive" in out  # server stats line
+
+    def test_invalid_parallelism_is_a_clear_error(self, workspace, capsys):
+        data, schema = workspace
+        code = main(
+            [
+                "serve-stats", "--data", str(data), "--schema", str(schema),
+                "--sql", QUERY, "--parallelism", "0",
+            ]
+        )
+        assert code == 2
+        assert "parallelism must be >= 1" in capsys.readouterr().err
+
     def test_baseline_serves_through_the_global_shard(self, workspace, capsys):
         data, schema = workspace
         code = main(

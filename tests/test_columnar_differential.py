@@ -107,8 +107,17 @@ def test_row_vs_columnar_differential(seed: int):
         _inject_nulls(db, rng)
     queries = [random_example1_query(rng)[0] for _ in range(QUERIES_PER_SEED)]
     for dedup in DEDUP_MODES:
+        # parallelism pinned to 1: this suite isolates row vs columnar
+        # (the pooled mode has its own three-way differential suite in
+        # tests/test_parallel_differential.py), and a BEAS_PARALLELISM
+        # CI leg must not silently turn the row executor into a pooled
+        # columnar one here
         row_beas = BEAS(
-            db, example1_access_schema(), dedup_keys=dedup, executor="row"
+            db,
+            example1_access_schema(),
+            dedup_keys=dedup,
+            executor="row",
+            parallelism=1,
         )
         col_beas = BEAS(
             db,
@@ -116,6 +125,7 @@ def test_row_vs_columnar_differential(seed: int):
             dedup_keys=dedup,
             executor="columnar",
             rows_per_batch=rng.choice([1, 2, 3, 7, 4096]),
+            parallelism=1,
         )
         for sql in queries:
             _compare_modes(row_beas, col_beas, sql)
@@ -163,7 +173,10 @@ def _batch_beas(db: Database, executor: str) -> BEAS:
     access = AccessSchema(
         [AccessConstraint("t", ["k"], ["g", "n", "u"], 4 * BATCH + 8, name="t_by_k")]
     )
-    return BEAS(db, access, executor=executor, rows_per_batch=BATCH)
+    # parallelism pinned: these edges compare the two in-process modes
+    return BEAS(
+        db, access, executor=executor, rows_per_batch=BATCH, parallelism=1
+    )
 
 
 def _both(db: Database, sql: str):
@@ -334,7 +347,9 @@ class TestModeWiring:
         access = AccessSchema(
             [AccessConstraint("t", ["k"], ["g", "u"], 4 * BATCH, name="t_by_k")]
         )
-        beas = BEAS(db, access, executor="row", rows_per_batch=BATCH)
+        beas = BEAS(
+            db, access, executor="row", rows_per_batch=BATCH, parallelism=1
+        )
         sql = (
             "SELECT DISTINCT t.u, w.x FROM t, w "
             "WHERE t.k = 'k' AND t.g = w.g"

@@ -69,6 +69,15 @@ class TestExamples:
         assert "accounting are identical across modes" in proc.stdout
         assert "per-query selection through the serving layer" in proc.stdout
 
+    def test_parallel_pool(self):
+        proc = run_example("parallel_pool.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "in-process vs engine pool" in proc.stdout
+        assert "accounting are identical" in proc.stdout
+        assert "version vector keys the worker snapshots" in proc.stdout
+        assert "workers alive" in proc.stdout
+        assert "pool closed" in proc.stdout
+
     def test_async_serving(self):
         proc = run_example("async_serving.py")
         assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,292 @@
+"""Chaos suite for the engine pool: answers are never wrong, only slower.
+
+Injects the failure modes a long-running multiprocess deployment will
+eventually hit — a worker dying mid-task, a worker whose warm catalog
+snapshot has silently gone stale, every worker busy (pool exhaustion),
+and a pool shut down under live traffic — and asserts that each one
+degrades to a correct answer (equal to the in-process oracle) plus the
+right recovery bookkeeping (respawns, stale retries, fallbacks).
+
+The one *semantic* failure — a fetch exceeding its deduced §3 bound
+because the data no longer conforms — must NOT be swallowed by the
+fallback machinery: the worker relays it and the master re-raises,
+exactly as the in-process executor would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AccessConstraint,
+    AccessSchema,
+    BEAS,
+    BoundedPlanExecutor,
+    Database,
+    DatabaseSchema,
+    DataType,
+    EnginePool,
+    TableSchema,
+)
+from repro.beas.result import ExecutionMode
+from repro.errors import ExecutionError
+
+
+# --------------------------------------------------------------------------- #
+# fixtures: a two-fetch workload and a deterministic one-worker pool
+# --------------------------------------------------------------------------- #
+def make_workload():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "t",
+                [
+                    ("k", DataType.STRING),
+                    ("g", DataType.STRING),
+                    ("u", DataType.STRING),
+                ],
+                keys=[("u",)],
+            ),
+            TableSchema(
+                "s",
+                [("g", DataType.STRING), ("v", DataType.STRING)],
+                keys=[("g", "v")],
+            ),
+        ]
+    )
+    db = Database(schema)
+    for i in range(24):
+        db.insert("t", ("k", f"g{i % 4}", f"u{i:04d}"))
+    for i in range(4):
+        db.insert("s", (f"g{i}", f"v{i}"))
+    access = AccessSchema(
+        [
+            AccessConstraint("t", ["k"], ["g", "u"], 40, name="t_by_k"),
+            AccessConstraint("s", ["g"], ["v"], 2, name="s_by_g"),
+        ]
+    )
+    sql = (
+        "SELECT t.u, s.v FROM t, s "
+        "WHERE t.k = 'k' AND t.g = s.g ORDER BY t.u"
+    )
+    return db, access, sql
+
+
+@pytest.fixture
+def workload():
+    return make_workload()
+
+
+def pooled_executor(beas: BEAS, pool: EnginePool, dispatch: str):
+    """A BoundedPlanExecutor over an explicit (usually 1-worker) pool, so
+    chaos hooks deterministically hit the worker that will serve the
+    next task."""
+    return BoundedPlanExecutor(
+        beas.catalog,
+        executor="columnar",
+        rows_per_batch=4,
+        pool=pool,
+        dispatch=dispatch,
+    )
+
+
+def expected_result(beas: BEAS, sql: str):
+    return beas.bounded_executor("columnar").execute(beas.check(sql).plan)
+
+
+# --------------------------------------------------------------------------- #
+# worker death mid-batch
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("dispatch", ["plan", "batch"])
+def test_worker_death_mid_task_falls_back_and_respawns(workload, dispatch):
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=1)
+    oracle = expected_result(beas, sql)
+    plan = beas.check(sql).plan
+    with EnginePool(1) as pool:
+        executor = pooled_executor(beas, pool, dispatch)
+        # arm the only worker: it exits the process mid-way through the
+        # NEXT compute task — after the master committed to dispatching
+        pool.debug("die_on_next_task")
+        result = executor.execute(plan)
+        assert result.rows == oracle.rows
+        assert result.metrics.tuples_fetched == oracle.metrics.tuples_fetched
+        stats = pool.stats()
+        assert stats.worker_deaths == 1
+        assert stats.respawns == 1
+        assert stats.alive == 1  # a fresh worker replaced the casualty
+
+        # the respawned worker serves the same plan remotely again
+        # (fresh snapshot: the replacement starts empty)
+        again = executor.execute(plan)
+        assert again.rows == oracle.rows
+        after = pool.stats()
+        assert after.plans_dispatched + after.chunks_dispatched > 0
+        assert after.snapshots_sent >= 2
+
+
+def test_repeated_worker_deaths_never_corrupt_answers(workload):
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=1)
+    oracle = expected_result(beas, sql)
+    plan = beas.check(sql).plan
+    with EnginePool(2) as pool:
+        executor = pooled_executor(beas, pool, "plan")
+        for round_number in range(4):
+            if round_number % 2 == 0:
+                pool.debug("die_on_next_task")
+            result = executor.execute(plan)
+            assert result.rows == oracle.rows, f"round {round_number}"
+        stats = pool.stats()
+        assert stats.worker_deaths >= 2
+        assert stats.alive == 2
+
+
+# --------------------------------------------------------------------------- #
+# stale snapshots
+# --------------------------------------------------------------------------- #
+def test_silently_stale_worker_snapshot_is_detected_and_retried(workload):
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=1)
+    oracle = expected_result(beas, sql)
+    plan = beas.check(sql).plan
+    with EnginePool(1) as pool:
+        executor = pooled_executor(beas, pool, "plan")
+        assert executor.execute(plan).rows == oracle.rows  # snapshot warm
+        # corrupt the WORKER's installed snapshot key without the master
+        # noticing: the master's bookkeeping now claims the worker is
+        # fresh while it is not — the per-task key check must catch it
+        pool.debug("set_snapshot_key", ("bogus", "generation"))
+        result = executor.execute(plan)
+        assert result.rows == oracle.rows
+        stats = pool.stats()
+        assert stats.stale_retries >= 1
+        assert stats.snapshots_sent >= 2  # the snapshot was re-sent
+
+
+def test_maintenance_refreshes_worker_snapshots(workload):
+    """The version-vector snapshot key: after an insert, pooled answers
+    must reflect the new data — a worker can never serve the old rows."""
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=2)
+    try:
+        first = beas.execute(sql)
+        assert first.mode is ExecutionMode.BOUNDED
+        baseline_rows = len(first.rows)
+        beas.insert("t", [("k", "g0", "u9998"), ("k", "g1", "u9999")])
+        fresh_oracle = BEAS(db, access, parallelism=1).execute(sql)
+        second = beas.execute(sql)
+        assert len(second.rows) == baseline_rows + 2
+        assert second.rows == fresh_oracle.rows
+        stats = beas.pool_stats()
+        assert stats is not None and stats.snapshots_sent >= 2
+    finally:
+        beas.close()
+
+
+# --------------------------------------------------------------------------- #
+# pool exhaustion
+# --------------------------------------------------------------------------- #
+def test_pool_exhaustion_falls_back_in_process(workload):
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=1)
+    oracle = expected_result(beas, sql)
+    plan = beas.check(sql).plan
+    with EnginePool(1, acquire_timeout=0.01) as pool:
+        executor = pooled_executor(beas, pool, "auto")
+        busy = pool.acquire()  # hold the only worker hostage
+        assert busy is not None
+        try:
+            result = executor.execute(plan)
+            assert result.rows == oracle.rows
+            assert result.metrics.pool_batches == 0  # everything ran local
+            stats = pool.stats()
+            assert stats.exhaustion_fallbacks >= 1
+            assert stats.plans_dispatched == 0
+        finally:
+            pool.release(busy)
+        # once the worker is back, dispatch resumes
+        assert executor.execute(plan).rows == oracle.rows
+        assert pool.stats().plans_dispatched == 1
+
+
+def test_closed_pool_falls_back(workload):
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=1)
+    oracle = expected_result(beas, sql)
+    plan = beas.check(sql).plan
+    pool = EnginePool(1)
+    executor = pooled_executor(beas, pool, "auto")
+    pool.close()
+    result = executor.execute(plan)
+    assert result.rows == oracle.rows
+    assert result.metrics.pool_batches == 0
+
+
+# --------------------------------------------------------------------------- #
+# semantic errors must propagate, not fall back
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("dispatch", ["plan", "batch"])
+def test_bound_exceeded_propagates_from_workers(dispatch):
+    """Non-conforming data (index built with validate=False) blows the
+    deduced fetch bound; the pooled run must raise the same
+    ExecutionError the in-process run does — never silently fall back
+    into a 'successful' answer."""
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "t",
+                [("k", DataType.STRING), ("u", DataType.STRING)],
+                keys=[("u",)],
+            )
+        ]
+    )
+    db = Database(schema)
+    for i in range(9):  # 9 distinct Y-values under one key, against N=2
+        db.insert("t", ("k", f"u{i}"))
+    beas = BEAS(db, parallelism=1)
+    # registered without conformance validation: the deduced bound (N=2)
+    # is stale relative to the actual data, so every fetch overruns it
+    beas.register(
+        AccessConstraint("t", ["k"], ["u"], 2, name="t_by_k"), validate=False
+    )
+    sql = "SELECT DISTINCT u FROM t WHERE k = 'k'"
+    plan = beas.check(sql).plan
+    with pytest.raises(ExecutionError, match="exceeding its deduced bound"):
+        beas.bounded_executor("columnar").execute(plan)
+    with EnginePool(1) as pool:
+        executor = pooled_executor(beas, pool, dispatch)
+        with pytest.raises(ExecutionError, match="exceeding its deduced bound"):
+            executor.execute(plan)
+
+
+# --------------------------------------------------------------------------- #
+# pool plumbing
+# --------------------------------------------------------------------------- #
+def test_debug_ping_and_repr():
+    with EnginePool(1) as pool:
+        reply = pool.debug("ping")
+        assert reply[0] == "pong" and isinstance(reply[1], int)
+    assert pool.closed
+
+
+def test_serving_layer_survives_worker_chaos(workload):
+    """End to end: a prepared query keeps answering correctly through the
+    sharded serving layer while its pool workers are killed."""
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=2)
+    oracle = BEAS(db, access, parallelism=1).serve().execute(sql)
+    try:
+        server = beas.serve()
+        first = server.execute(sql, use_result_cache=False)
+        assert first.rows == oracle.rows
+        pool = beas.pool
+        assert pool is not None
+        pool.debug("die_on_next_task")
+        for _ in range(3):
+            result = server.execute(sql, use_result_cache=False)
+            assert result.rows == oracle.rows
+        stats = beas.pool_stats()
+        assert stats is not None and stats.alive == 2
+    finally:
+        beas.close()

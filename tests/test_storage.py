@@ -185,3 +185,14 @@ class TestCSV:
             table.insert(row)
         back = table_from_csv_text(table_to_csv_text(table))
         assert back.rows == table.rows
+
+    @pytest.mark.parametrize(
+        "tricky", ['""', '"', '"x"', '""""', '"" ', "plain"]
+    )
+    def test_quote_shaped_strings_round_trip(self, tricky):
+        """Regression: a literal string that looks like the quoted-empty
+        sentinel (e.g. '""') must not decode to the empty string."""
+        table = Table(schema())
+        table.insert((1, None, tricky, None, None))
+        back = table_from_csv_text(table_to_csv_text(table))
+        assert back.rows == table.rows
