@@ -10,7 +10,7 @@ a deterministic accuracy lower bound, never fetching more than the budget.
 Run:  python examples/approximation_budget.py
 """
 
-from repro import BEAS
+from repro import Session
 from repro.bench.reporting import format_table
 from repro.errors import BudgetExceededError
 from repro.workloads.tlc import generate_tlc, tlc_access_schema, tlc_queries
@@ -18,13 +18,14 @@ from repro.workloads.tlc import generate_tlc, tlc_access_schema, tlc_queries
 
 def main() -> None:
     ds = generate_tlc(scale=4)
-    beas = BEAS(ds.database, tlc_access_schema())
+    session = Session(ds.database, tlc_access_schema())
     q1 = tlc_queries(ds.params)[0]
+    query = session.query(q1.sql)
 
     # ---- budget checking, before execution --------------------------------
     print("== budget feasibility (no execution) ==")
     for budget in (13_000_000, 1_000_000, 10_000):
-        decision = beas.check(q1.sql, budget=budget)
+        decision = query.decide(budget=budget).coverage
         verdict = "within" if decision.within_budget else "OVER"
         print(
             f"budget {budget:>10}: deduced bound M = {decision.access_bound} "
@@ -34,11 +35,11 @@ def main() -> None:
     # ---- exceeding the budget: refuse or approximate ------------------------
     print("\n== over-budget behaviour ==")
     try:
-        beas.execute(q1.sql, budget=10_000)
+        query.run(budget=10_000)
     except BudgetExceededError as error:
         print(f"strict mode refuses: {error}")
 
-    exact = beas.execute(q1.sql)
+    exact = query.run()
     print(
         f"\nexact answer: {len(exact.rows)} rows, "
         f"{exact.metrics.tuples_fetched} tuples fetched"
@@ -47,8 +48,8 @@ def main() -> None:
     print("\napproximate answers under shrinking budgets:")
     rows = []
     for budget in (exact.metrics.tuples_fetched, 60, 30, 10, 0):
-        result = beas.execute(
-            q1.sql, budget=budget, approximate_over_budget=True
+        result = query.run(
+            budget=budget, approximate_over_budget=True
         )
         if result.approximation is None:
             status, guaranteed = "exact (bounded)", 1.0

@@ -26,7 +26,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from repro import BEAS
+from repro import Session
 
 from tests.conftest import example1_access_schema, example1_database
 
@@ -46,8 +46,8 @@ QUERIES = {
 
 
 async def main() -> None:
-    beas = BEAS(example1_database(), example1_access_schema())
-    async with beas.serve_async(max_workers=4) as aserver:
+    session = Session(example1_database(), example1_access_schema())
+    async with session.serve_async(max_workers=4) as aserver:
         # ---- 1. a burst of concurrent clients ---------------------------
         print("== concurrent clients ==")
         start = time.perf_counter()

@@ -36,10 +36,11 @@ import random
 from repro import (
     AccessConstraint,
     AccessSchema,
-    BEAS,
     Database,
     DatabaseSchema,
     DataType,
+    ExecutionOptions,
+    Session,
     TableSchema,
 )
 
@@ -89,8 +90,11 @@ SQL = (
 print("== one bounded plan, two executors ==")
 results = {}
 for mode in ("row", "columnar"):
-    beas = BEAS(db, access, executor=mode, rows_per_batch=4096)
-    result = beas.execute(SQL)
+    session = Session(
+        db, access,
+        options=ExecutionOptions(executor=mode, rows_per_batch=4096),
+    )
+    result = session.run(SQL)
     results[mode] = result
     metrics = result.metrics
     print(
@@ -117,17 +121,17 @@ print(f"columnar speedup on this run: {speedup:.2f}x")
 
 # ---- 3. per-query mode selection through the serving layer ---------------
 print("\n== per-query selection through the serving layer ==")
-beas = BEAS(db, access)  # default mode: row
-server = beas.serve()
-row_run = server.execute(SQL, use_result_cache=False)
-columnar_run = server.execute(SQL, use_result_cache=False, executor="columnar")
+session = Session(db, access)  # default mode: row
+query = session.query(SQL)
+row_run = query.run(use_result_cache=False)
+columnar_run = query.run(use_result_cache=False, executor="columnar")
 assert row_run.rows == columnar_run.rows
 print(
-    "server.execute(sql)                        ->",
+    "query.run()                          ->",
     f"row pipeline, {row_run.metrics.batches} batches",
 )
 print(
-    'server.execute(sql, executor="columnar")   ->',
+    'query.run(executor="columnar")      ->',
     f"columnar pipeline, {columnar_run.metrics.batches} batches",
 )
 print("\nmode switching is per query; caches and plans are shared")

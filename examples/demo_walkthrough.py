@@ -76,16 +76,20 @@ def main() -> None:
 
     # ---- (A) bounded evaluability checking, with a budget ----------------
     print("\n(A) BE Checker:")
-    decision = beas.check(QUERY, budget=1_000_000)
-    print(decision.describe())
+    session = beas.session()
+    query = session.query(QUERY)
+    decision = query.decide(budget=1_000_000)
+    print(decision.coverage.describe())
 
     # ---- (B) the bounded plan, fetches annotated with bounds -------------
     print("\n(B) bounded plan:")
-    print(beas.explain(QUERY))
+    print(decision.explain())
 
     # ---- (C) execution + performance analysis ----------------------------
+    # the decision above is OVER its 1M budget, and decision.run() would
+    # enforce that (BudgetExceededError); run without a budget instead
     print("\n(C) execution:")
-    result = beas.execute(QUERY)
+    result = query.run()
     print(result.describe())
     print("answers:", sorted(result.to_set()))
 

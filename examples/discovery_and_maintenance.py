@@ -79,7 +79,7 @@ def main() -> None:
     ]
     batch = manager.insert("call", new_calls)
     print(f"inserted {batch.inserted} calls; indices updated incrementally")
-    result = beas.execute(workload[1])
+    result = beas.session().run(workload[1])
     print(f"Q2 now returns {len(result.rows)} rows "
           f"(fetched {result.metrics.tuples_fetched} tuples, scanned 0)")
     assert result.metrics.tuples_scanned == 0

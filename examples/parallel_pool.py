@@ -106,10 +106,14 @@ SQL = query_for(0)
 print("== one bounded plan, in-process vs engine pool ==")
 inproc = BEAS(db, access, executor="columnar", parallelism=1)
 pooled = BEAS(db, access, executor="columnar", parallelism=4)
+inproc_session = inproc.session()
+pooled_session = pooled.session()
 
-a = inproc.execute(SQL)
-b = pooled.execute(SQL)  # first pooled run ships the warm snapshot
-b = pooled.execute(SQL)  # steady state: only plan + answer cross processes
+a = inproc_session.run(SQL, use_result_cache=False)
+# first pooled run ships the warm snapshot
+b = pooled_session.run(SQL, use_result_cache=False)
+# steady state: only plan + answer cross processes
+b = pooled_session.run(SQL, use_result_cache=False)
 assert a.rows == b.rows
 assert a.metrics.tuples_fetched == b.metrics.tuples_fetched
 print(f"in-process: {len(a.rows)} groups, fetched {a.metrics.tuples_fetched}")
@@ -125,13 +129,13 @@ print("answers and tuple-access accounting are identical")
 print("\n== 4 concurrent client threads, 3 queries each ==")
 
 
-def drive(beas: BEAS) -> float:
+def drive(session) -> float:
     barrier = threading.Barrier(4)
 
     def client(c: int) -> None:
         barrier.wait()
         for q in range(3):
-            beas.execute(query_for(c * 3 + q))
+            session.run(query_for(c * 3 + q), use_result_cache=False)
 
     threads = [threading.Thread(target=client, args=(c,)) for c in range(4)]
     start = time.perf_counter()
@@ -142,9 +146,9 @@ def drive(beas: BEAS) -> float:
     return time.perf_counter() - start
 
 
-drive(pooled)  # warm every worker's snapshot
-inproc_s = drive(inproc)
-pooled_s = drive(pooled)
+drive(pooled_session)  # warm every worker's snapshot
+inproc_s = drive(inproc_session)
+pooled_s = drive(pooled_session)
 print(f"in-process fleet: {inproc_s * 1000:7.1f} ms (GIL-serialised)")
 print(f"pooled fleet    : {pooled_s * 1000:7.1f} ms")
 cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else 1
@@ -156,11 +160,11 @@ print(
 # ---- 4. maintenance refreshes the warm snapshots -------------------------
 print("\n== maintenance: version vector keys the worker snapshots ==")
 before = pooled.pool_stats()
-pooled.insert(
+pooled_session.insert(
     "event",
     [("k000", "2016-06-01", "rec-new-1", "r0", 42)],
 )
-fresh = pooled.execute(SQL)
+fresh = pooled_session.run(SQL, use_result_cache=False)
 after = pooled.pool_stats()
 assert len(fresh.rows) == len(b.rows)  # same groups, one more event in r0
 print(

@@ -1,5 +1,17 @@
 #!/usr/bin/env python3
-"""Prepared serving: prepare once, execute many, watch the caches work.
+"""Prepared serving — via the DEPRECATED pre-Session entry points.
+
+This example deliberately keeps exercising the legacy shims
+(``BEAS.serve``/``prepare``/``PreparedQuery.execute``) to document the
+migration path: each call still works, delegating to the unified
+Session/Query/Decision/Result model, and emits
+``BEASDeprecationWarning``. See ``examples/session_lifecycle.py`` for
+the replacement lifecycle and ``docs/api.md`` for the migration table.
+(It is excluded from the warning-strict CI leg for exactly this
+reason.)
+
+Original walkthrough: prepare once, execute many, watch the caches
+work.
 
 Walks the serving layer (``repro.serving``) over the paper's Example 1
 setting:

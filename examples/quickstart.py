@@ -2,20 +2,20 @@
 """Quickstart: bounded evaluation in ~60 lines.
 
 Builds the paper's Example 1 setting — the ``call`` / ``package`` /
-``business`` relations with access constraints ψ1, ψ2, ψ3 — and walks the
-BEAS pipeline on the Example 2 query: check coverage, inspect the bounded
-plan with its deduced bounds, execute, and compare against the host
-engine.
+``business`` relations with access constraints ψ1, ψ2, ψ3 — and walks
+the unified Session/Query/Decision/Result lifecycle on the Example 2
+query: check coverage, inspect the bounded plan with its deduced
+bounds, execute, and compare against the host engine.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
     AccessConstraint,
-    BEAS,
     Database,
     DatabaseSchema,
     DataType,
+    Session,
     TableSchema,
 )
 
@@ -63,8 +63,8 @@ db.insert("call", ("100", "556", "2016-06-01", "south"))
 db.insert("call", ("101", "557", "2016-06-01", "east"))
 
 # ---- 3. register the access schema A0 (Example 1) -------------------------
-beas = BEAS(db)
-beas.register_all(
+session = Session(db)
+session.register_all(
     [
         AccessConstraint("call", ["pnum", "date"], ["recnum", "region"], 500,
                          name="psi1"),
@@ -87,24 +87,26 @@ where business.type = 'bank' and business.region = 'east'
 """
 
 # BE Checker: is the query covered? what will it cost, before running it?
-decision = beas.check(QUERY, budget=13_000_000)
+query = session.query(QUERY)
+decision = query.decide(budget=13_000_000)
 print("== BE Checker ==")
-print(decision.describe())
+print(decision.coverage.describe())
 assert decision.covered
 assert decision.access_bound == 2000 + 24_000 + 12_000_000  # the paper's M
 
 # BE Plan Generator: the bounded plan, fetch by fetch
 print("\n== Bounded plan ==")
-print(beas.explain(QUERY))
+print(decision.explain())
 
 # BE Plan Executor: run it — no base table is ever scanned
-result = beas.execute(QUERY)
+result = decision.run()
 print("\n== Execution ==")
 print(result.describe())
 print("answers:", sorted(result.to_set()))
 assert result.metrics.tuples_scanned == 0
 
 # Sanity: the host engine (scanning everything) agrees
-host = beas.host_engine().execute(QUERY)
+host = session.beas.host_engine().execute(QUERY)
 assert result.to_set() == set(host.rows)
 print("\nhost engine agrees after scanning", host.metrics.tuples_scanned, "tuples")
+session.close()

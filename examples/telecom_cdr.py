@@ -27,6 +27,7 @@ def main(scale: int = 2) -> None:
     )
 
     beas = BEAS(db, tlc_access_schema())
+    session = beas.session()
     print("\nregistered access schema A0:")
     print(beas.catalog.schema.describe())
 
@@ -36,7 +37,7 @@ def main(scale: int = 2) -> None:
     host = beas.host_engine()
     host.statistics()  # warm the stats cache (offline ANALYZE)
     for query in tlc_queries(ds.params):
-        result = beas.execute(query.sql)
+        result = session.run(query.sql)
         host_result = host.execute(query.sql)
         assert result.to_set() == set(host_result.rows), query.name
         rows.append(

@@ -6,10 +6,10 @@ dataset ``D``, with ``Q(D_Q) = Q(D)`` and ``|D_Q|`` determined only by the
 query and an *access schema* (cardinality constraints + indices) — never
 by ``|D|``.
 
-Quickstart::
+Quickstart (the unified Session/Query/Decision/Result lifecycle)::
 
     from repro import (
-        AccessConstraint, BEAS, Database, DatabaseSchema, DataType,
+        AccessConstraint, Database, DatabaseSchema, DataType, Session,
         TableSchema,
     )
 
@@ -21,19 +21,24 @@ Quickstart::
     ])
     db = Database(schema)
     # ... load data ...
-    beas = BEAS(db)
-    beas.register(AccessConstraint(
-        "call", ["pnum", "date"], ["recnum", "region"], 500, name="psi1"))
-    decision = beas.check(
-        "SELECT DISTINCT region FROM call "
-        "WHERE pnum = '5550001' AND date = '2016-06-01'")
-    assert decision.covered and decision.access_bound == 500
-    result = beas.execute(
-        "SELECT DISTINCT region FROM call "
-        "WHERE pnum = '5550001' AND date = '2016-06-01'")
+    with Session(db) as session:
+        session.register(AccessConstraint(
+            "call", ["pnum", "date"], ["recnum", "region"], 500,
+            name="psi1"))
+        q = session.query(
+            "SELECT DISTINCT region FROM call "
+            "WHERE pnum = '5550001' AND date = '2016-06-01'")
+        decision = q.decide()
+        assert decision.covered and decision.access_bound == 500
+        result = decision.run()
+        # one template, many bindings — the pinned plan is REBOUND per
+        # binding (no BE Checker re-run for equal-arity bindings):
+        other = q.bind(date="2016-06-02").run()
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-measured record, and docs/api.md for the API reference and the
+migration guide from the deprecated ``BEAS.execute``/``prepare``/
+``serve`` entry points.
 """
 
 from repro.catalog.types import DataType
@@ -55,9 +60,12 @@ from repro.bounded.approximation import BoundedApproximator
 from repro.bounded.analyzer import PerformanceAnalyzer
 from repro.beas.system import BEAS
 from repro.beas.result import BEASResult, ExecutionMode
+from repro.beas.session import Decision, ExecutionOptions, Query, Result, Session
+from repro.config import EnvConfig, load_env_config
+from repro.errors import BEASDeprecationWarning, BEASError
 from repro.serving import BEASServer, PreparedQuery, ServingStats
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "DataType",
@@ -88,9 +96,18 @@ __all__ = [
     "PerformanceAnalyzer",
     "BEAS",
     "BEASResult",
+    "BEASDeprecationWarning",
+    "BEASError",
     "ExecutionMode",
     "BEASServer",
     "PreparedQuery",
     "ServingStats",
+    "Session",
+    "Query",
+    "Decision",
+    "Result",
+    "ExecutionOptions",
+    "EnvConfig",
+    "load_env_config",
     "__version__",
 ]

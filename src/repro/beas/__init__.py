@@ -1,6 +1,22 @@
-"""BEAS system facade (S9): the end-to-end prototype of the paper."""
+"""BEAS system facade (S9): the end-to-end prototype of the paper.
+
+The blessed public surface is the unified lifecycle in
+:mod:`repro.beas.session` (``Session`` / ``Query`` / ``Decision`` /
+``Result``); :class:`~repro.beas.system.BEAS` remains the engine
+underneath, with its old entry points kept as deprecation shims.
+"""
 
 from repro.beas.result import BEASResult, ExecutionMode
+from repro.beas.session import Decision, ExecutionOptions, Query, Result, Session
 from repro.beas.system import BEAS
 
-__all__ = ["BEAS", "BEASResult", "ExecutionMode"]
+__all__ = [
+    "BEAS",
+    "BEASResult",
+    "Decision",
+    "ExecutionMode",
+    "ExecutionOptions",
+    "Query",
+    "Result",
+    "Session",
+]

@@ -1,0 +1,778 @@
+"""The unified public API: ``Session`` / ``Query`` / ``Decision`` / ``Result``.
+
+BEAS's value (§3 of the paper) is that a query is *decided once* against
+the access schema and then executed within bounds many times. The
+pre-2.0 surface had grown four divergent entry paths for that lifecycle
+(``BEAS.execute``, ``execute_decided``, ``prepare``/``PreparedQuery``,
+``serve``/``serve_async``) with inconsistent result shapes and per-call
+option plumbing. This module collapses them into one lifecycle::
+
+    with Session(database, access_schema) as session:
+        q = session.query(
+            "SELECT region FROM call WHERE pnum = '100' AND date = 'd'")
+        decision = q.bind(date="2016-06-01").decide()
+        print(decision.verdict, decision.access_bound, decision.provenance)
+        result = decision.run()
+        print(result.rows, result.metrics.tuples_fetched)
+
+        # one template, many bindings: the plan pinned above is REBOUND
+        # for every later equal-arity binding — zero BE Checker runs
+        for day in days:
+            r = q.bind(date=day).run()
+
+* :class:`Session` — context-managed facade over one
+  :class:`~repro.beas.system.BEAS` engine plus the sharded serving
+  backend (parse/decision/result caches, per-table locks, maintenance).
+* :class:`Query` — an immutable handle for one prepared template;
+  ``bind`` produces a new handle for a concrete binding, ``decide``
+  pins (or rebinds) the coverage decision, ``run`` executes.
+* :class:`Decision` — the unified checker outcome: boundedness verdict,
+  pinned plan, deduced bounds, budget feasibility, and **cache
+  provenance** (``fresh`` | ``cached`` | ``rebound``).
+* :class:`Result` — rows + schema + :class:`ExecutionMetrics`
+  (executor/pool/lock counters) + the decision that produced them.
+* :class:`ExecutionOptions` — every execution knob in one validated
+  dataclass, resolved through a single precedence chain:
+  **call > Query > Session > EngineProfile > environment** (the
+  ``BEAS_*`` variables, read by :mod:`repro.config`).
+
+The engine-level knobs (``rows_per_batch``, ``parallelism``,
+``parallel_dispatch``) are pinned when the Session builds its engine;
+supplying a *different* value at Query or call level raises
+:class:`~repro.errors.BEASError` rather than being silently ignored.
+``executor`` may be overridden per Query or per call (answers are
+mode-independent).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
+
+from repro import config
+from repro.access.constraint import AccessConstraint
+from repro.access.schema import AccessSchema
+from repro.beas.result import BEASResult, ExecutionMode
+from repro.beas.system import BEAS
+from repro.bounded.coverage import CoverageDecision
+from repro.bounded.plan import AnyBoundedPlan, explain_plan
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.profiles import EngineProfile, POSTGRESQL
+from repro.errors import BEASError
+from repro.storage.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bounded.approximation import ApproximateResult
+    from repro.serving.async_server import AsyncBEASServer
+    from repro.serving.params import ParameterSlot
+    from repro.serving.prepared import PreparedQuery
+    from repro.serving.server import BEASServer, ServingStats
+
+#: Engine-level fields fixed when the Session builds its BEAS engine.
+_ENGINE_PINNED = ("rows_per_batch", "parallelism", "parallel_dispatch")
+
+
+# --------------------------------------------------------------------------- #
+# options
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every execution knob, validated at construction.
+
+    ``None`` means "inherit from the next layer down" in the precedence
+    chain (call > Query > Session > EngineProfile > environment). See
+    the module docstring for which fields are engine-pinned.
+    """
+
+    executor: Optional[str] = None  # "row" | "columnar"
+    rows_per_batch: Optional[int] = None
+    parallelism: Optional[int] = None
+    parallel_dispatch: Optional[str] = None  # "auto" | "plan" | "batch"
+    budget: Optional[int] = None  # tuple budget (None = unbounded)
+    allow_partial: Optional[bool] = None
+    approximate_over_budget: Optional[bool] = None
+    use_result_cache: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.executor is not None:
+            config.validate_executor(self.executor)
+        if self.rows_per_batch is not None:
+            config.validate_rows_per_batch(self.rows_per_batch)
+        if self.parallelism is not None:
+            config.validate_parallelism(self.parallelism)
+        if self.parallel_dispatch is not None:
+            config.validate_dispatch(self.parallel_dispatch)
+        if self.budget is not None:
+            if not isinstance(self.budget, int) or isinstance(self.budget, bool):
+                raise BEASError(
+                    f"budget must be an int, got {type(self.budget).__name__}"
+                )
+            if self.budget < 0:
+                raise BEASError(f"budget must be >= 0, got {self.budget}")
+        for name in ("allow_partial", "approximate_over_budget", "use_result_cache"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, bool):
+                raise BEASError(f"{name} must be a bool, got {value!r}")
+
+    # ------------------------------------------------------------------ #
+    def over(self, base: Optional["ExecutionOptions"]) -> "ExecutionOptions":
+        """This layer merged over ``base``: set fields win, ``None``
+        fields inherit."""
+        if base is None:
+            return self
+        merged = {
+            field.name: (
+                getattr(self, field.name)
+                if getattr(self, field.name) is not None
+                else getattr(base, field.name)
+            )
+            for field in dataclasses.fields(self)
+        }
+        return ExecutionOptions(**merged)
+
+    def replace(self, **fields) -> "ExecutionOptions":
+        return dataclasses.replace(self, **fields)
+
+    @staticmethod
+    def from_profile(profile: EngineProfile) -> "ExecutionOptions":
+        """The EngineProfile layer of the chain. Profile fields at their
+        dataclass defaults count as unset (``parallelism=0`` means "no
+        opinion", not "in-process forever"), mirroring how profiles have
+        always behaved as defaults-of-last-resort."""
+        return ExecutionOptions(
+            executor=profile.executor if profile.executor != "row" else None,
+            rows_per_batch=profile.rows_per_batch or None,
+            parallelism=profile.parallelism or None,
+            parallel_dispatch=(
+                profile.parallel_dispatch
+                if profile.parallel_dispatch != "auto"
+                else None
+            ),
+        )
+
+    @staticmethod
+    def from_environment() -> "ExecutionOptions":
+        """The environment layer (``BEAS_*``, via :mod:`repro.config`)."""
+        return ExecutionOptions(
+            executor=config.env_executor(),
+            rows_per_batch=config.env_rows_per_batch(),
+            parallelism=config.env_parallelism(),
+        )
+
+    @staticmethod
+    def defaults() -> "ExecutionOptions":
+        """The bottom of the chain: every field concrete."""
+        return ExecutionOptions(
+            executor="row",
+            rows_per_batch=config.DEFAULT_ROWS_PER_BATCH,
+            parallelism=1,
+            parallel_dispatch="auto",
+            budget=None,
+            allow_partial=True,
+            approximate_over_budget=False,
+            use_result_cache=True,
+        )
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{field.name}={getattr(self, field.name)!r}"
+            for field in dataclasses.fields(self)
+            if getattr(self, field.name) is not None
+        )
+        return f"ExecutionOptions({pairs or 'inherit all'})"
+
+
+def _coerce_options(
+    options: Optional[ExecutionOptions], fields: Mapping[str, Any]
+) -> Optional[ExecutionOptions]:
+    """Combine an options object and/or loose keyword fields into one
+    layer (keywords win over the object's fields)."""
+    if fields:
+        layer = ExecutionOptions(**fields)
+        return layer.over(options) if options is not None else layer
+    return options
+
+
+# --------------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------------- #
+@dataclass
+class Result:
+    """The unified execution outcome: rows, schema, metrics, provenance.
+
+    Wraps what the engine produced with the :class:`Decision` that
+    drove it and the fully resolved :class:`ExecutionOptions` the run
+    used — one shape for bounded, partially bounded, conventional and
+    approximate answers, cached or computed, row or columnar, pooled or
+    in-process.
+    """
+
+    columns: list[str]
+    rows: list[tuple]
+    mode: ExecutionMode
+    metrics: ExecutionMetrics
+    decision: "Decision"
+    options: ExecutionOptions
+    approximation: Optional["ApproximateResult"] = None
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        """The output schema (column names, in order)."""
+        return tuple(self.columns)
+
+    @property
+    def served_from_cache(self) -> bool:
+        return self.metrics.served_from_cache
+
+    def to_set(self) -> set[tuple]:
+        return set(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def describe(self) -> str:
+        summary = (
+            f"{len(self.rows)} rows via {self.mode.value} evaluation in "
+            f"{self.metrics.seconds * 1000:.2f} ms "
+            f"(fetched {self.metrics.tuples_fetched}, "
+            f"scanned {self.metrics.tuples_scanned} tuples; "
+            f"decision {self.decision.provenance})"
+        )
+        if self.approximation is not None:
+            summary += f"; {self.approximation.describe()}"
+        return summary
+
+
+# --------------------------------------------------------------------------- #
+# decisions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Decision:
+    """The unified BE Checker outcome for one bound query.
+
+    Carries the boundedness verdict, the pinned plan and deduced
+    bounds, budget feasibility, and how the decision was obtained
+    (``provenance``): ``"fresh"`` — a full checker run; ``"cached"`` —
+    an exact decision-cache hit for this binding; ``"rebound"`` — a
+    pinned plan patched for this binding's constants without any
+    checker run (constraint-preserving rebinding,
+    :mod:`repro.bounded.rebind`); ``"result-cache"`` — the rows came
+    straight from the result cache.
+    """
+
+    coverage: CoverageDecision
+    provenance: str
+    generation: int  # access-schema generation the decision was made under
+    query: Optional["Query"] = None
+    #: the tuple budget this decision was evaluated against (None = no
+    #: budget); ``run()`` defaults to it, so an over-budget verdict is
+    #: never silently executed unbounded
+    budget: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def covered(self) -> bool:
+        return self.coverage.covered
+
+    @property
+    def verdict(self) -> str:
+        """``"bounded"`` when a bounded plan exists, else
+        ``"not-covered"`` (execution falls back per §2)."""
+        return "bounded" if self.coverage.covered else "not-covered"
+
+    @property
+    def plan(self) -> Optional[AnyBoundedPlan]:
+        return self.coverage.plan
+
+    @property
+    def access_bound(self) -> Optional[int]:
+        return self.coverage.access_bound
+
+    @property
+    def tight_access_bound(self) -> Optional[int]:
+        return self.coverage.tight_access_bound
+
+    @property
+    def bag_exact(self) -> bool:
+        return self.coverage.bag_exact
+
+    @property
+    def within_budget(self) -> Optional[bool]:
+        return self.coverage.within_budget
+
+    @property
+    def reasons(self) -> list[str]:
+        return self.coverage.reasons
+
+    @property
+    def constraints_used(self) -> list[AccessConstraint]:
+        return self.coverage.constraints_used
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        options: Optional[ExecutionOptions] = None,
+        **fields,
+    ) -> Result:
+        """Execute under this (pinned) decision.
+
+        Runs the bound query through the serving caches: the decision
+        pinned here is an exact cache hit, so no BE Checker work is
+        repeated — decide once, run many. The budget the decision was
+        evaluated against carries over unless the call layer overrides
+        it, so ``decide(budget=...)`` → ``run()`` enforces the budget
+        (raising :class:`~repro.errors.BudgetExceededError` or taking
+        the approximation route) instead of silently running unbounded.
+        """
+        if self.query is None:
+            raise BEASError(
+                "this Decision is not attached to a Query handle; "
+                "use session.query(...).decide()"
+            )
+        if (
+            self.budget is not None
+            and "budget" not in fields
+            and (options is None or options.budget is None)
+        ):
+            fields["budget"] = self.budget
+        return self.query.run(options=options, **fields)
+
+    def explain(self) -> str:
+        """The bounded plan listing (or the not-covered reasons)."""
+        if self.coverage.covered and self.coverage.plan is not None:
+            return explain_plan(self.coverage.plan)
+        return self.coverage.describe()
+
+    def describe(self) -> str:
+        lines = [
+            f"decision: {self.verdict} ({self.provenance}, "
+            f"schema generation {self.generation})",
+            self.coverage.describe(),
+        ]
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# queries
+# --------------------------------------------------------------------------- #
+class Query:
+    """An immutable handle for one prepared query template (+ binding).
+
+    Created by :meth:`Session.query`; ``bind`` and ``with_options``
+    return *new* handles, so one template can be shared across threads
+    while each caller narrows its own binding and options.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        prepared: "PreparedQuery",
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[ExecutionOptions] = None,
+    ):
+        self._session = session
+        self._prepared = prepared
+        self._params: dict[str, Any] = dict(params or {})
+        self._options = options
+
+    # ------------------------------------------------------------------ #
+    @property
+    def sql(self) -> str:
+        return self._prepared.sql
+
+    @property
+    def name(self) -> str:
+        return self._prepared.name
+
+    @property
+    def fingerprint(self) -> str:
+        """The template's stable fingerprint (binding-independent)."""
+        return self._prepared.fingerprint
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return self._prepared.tables
+
+    @property
+    def slots(self) -> dict[str, "ParameterSlot"]:
+        """The template's parameterisable constant slots."""
+        return self._prepared.slots
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """The current binding overrides (empty = template constants)."""
+        return dict(self._params)
+
+    @property
+    def options(self) -> Optional[ExecutionOptions]:
+        return self._options
+
+    @property
+    def session(self) -> "Session":
+        return self._session
+
+    # ------------------------------------------------------------------ #
+    def bind(
+        self, params: Optional[Mapping[str, Any]] = None, **kwargs: Any
+    ) -> "Query":
+        """A new handle with these overrides merged over the current ones.
+
+        Keys may be fully qualified slot names (``{"call.date": d}``) or
+        bare column names when unambiguous (``date=d``)."""
+        merged = dict(self._params)
+        merged.update(params or {})
+        merged.update(kwargs)
+        return Query(self._session, self._prepared, merged, self._options)
+
+    def unbound(self) -> "Query":
+        """A new handle back on the template's own constants."""
+        return Query(self._session, self._prepared, None, self._options)
+
+    def with_options(
+        self, options: Optional[ExecutionOptions] = None, **fields
+    ) -> "Query":
+        """A new handle with an options layer merged over this one's."""
+        layer = _coerce_options(options, fields)
+        if layer is None:
+            return self
+        return Query(
+            self._session, self._prepared, self._params, layer.over(self._options)
+        )
+
+    # ------------------------------------------------------------------ #
+    def decide(self, budget: Optional[int] = None) -> Decision:
+        """Pin (or rebind) the coverage decision for this binding.
+
+        The first binding of each arity signature pays a full BE Checker
+        run; later equal-signature bindings patch the pinned plan's
+        constants directly (``provenance == "rebound"``) — no checker
+        run. ``budget`` defaults to the resolved options' budget."""
+        resolved = self._session._resolve(self._options, None)
+        if budget is None:
+            budget = resolved.budget
+        coverage, provenance = self._session.server.decide_prepared(
+            self._prepared, self._params or None, budget=budget
+        )
+        return Decision(
+            coverage=coverage,
+            provenance=provenance,
+            generation=self._session.beas.catalog.schema_generation,
+            query=self,
+            budget=budget,
+        )
+
+    def explain(self) -> str:
+        """The bounded plan for this binding, or the fallback reasons."""
+        decision = self.decide()
+        if decision.covered:
+            return decision.explain()
+        return self._session.beas.explain(
+            self._prepared.binding(self._params or None).statement
+        )
+
+    def run(
+        self,
+        *,
+        options: Optional[ExecutionOptions] = None,
+        **fields,
+    ) -> Result:
+        """Execute this binding through the serving caches.
+
+        ``options``/keyword fields form the call layer of the precedence
+        chain (e.g. ``run(budget=5000, executor="columnar")``)."""
+        call_layer = _coerce_options(options, fields)
+        resolved = self._session._resolve(self._options, call_layer)
+        raw = self._session.server.execute_prepared(
+            self._prepared,
+            self._params or None,
+            budget=resolved.budget,
+            allow_partial=resolved.allow_partial,
+            approximate_over_budget=resolved.approximate_over_budget,
+            use_result_cache=resolved.use_result_cache,
+            executor=resolved.executor,
+        )
+        return self._session._wrap(raw, self, resolved)
+
+    __call__ = run
+
+    def __repr__(self) -> str:
+        bound = f", params={sorted(self._params)}" if self._params else ""
+        return f"Query({self.name}{bound})"
+
+
+# --------------------------------------------------------------------------- #
+# sessions
+# --------------------------------------------------------------------------- #
+class Session:
+    """Context-managed facade over one BEAS engine + serving backend.
+
+    Build it over a database (the Session owns and closes the engine)::
+
+        with Session(database, access_schema) as session:
+            result = session.query(sql).run()
+
+    or adopt an existing engine (``Session(beas=engine)`` or
+    ``engine.session()``) — the engine's lifetime stays the caller's.
+
+    One Session per process is the intended shape: its serving backend
+    is sharded by table and thread-safe, so any number of client
+    threads can ``query``/``run`` concurrently while maintenance
+    (:meth:`insert`/:meth:`delete`) proceeds per table.
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        access_schema: Optional[AccessSchema] = None,
+        *,
+        beas: Optional[BEAS] = None,
+        profile: EngineProfile = POSTGRESQL,
+        options: Optional[ExecutionOptions] = None,
+        dedup_keys: bool = False,
+        require_exact_multiplicities: bool = False,
+        server_options: Optional[Mapping[str, Any]] = None,
+    ):
+        if (database is None) == (beas is None):
+            raise BEASError(
+                "Session needs exactly one of `database` (it builds the "
+                "engine) or `beas` (it adopts an existing engine)"
+            )
+        self._session_options = options
+        self._server_options = dict(server_options or {})
+        if beas is not None:
+            if access_schema is not None:
+                raise BEASError(
+                    "pass access_schema only when the Session builds the "
+                    "engine; an adopted BEAS already has its catalog"
+                )
+            self._beas = beas
+            self._owns_engine = False
+            # the engine's pinned knobs are the session layer's floor
+            base = ExecutionOptions(
+                executor=beas.executor,
+                rows_per_batch=beas._rows_per_batch,
+                parallelism=beas.parallelism,
+                parallel_dispatch=beas._parallel_dispatch,
+            )
+            self._check_engine_consistency(options, base)
+            self._resolved_options = (
+                options.over(base) if options is not None else base
+            ).over(ExecutionOptions.defaults())
+        else:
+            resolved = self._chain(options, profile)
+            self._resolved_options = resolved
+            self._beas = BEAS(
+                database,
+                access_schema,
+                host_profile=profile,
+                dedup_keys=dedup_keys,
+                require_exact_multiplicities=require_exact_multiplicities,
+                executor=resolved.executor,
+                rows_per_batch=resolved.rows_per_batch,
+                parallelism=resolved.parallelism,
+                parallel_dispatch=resolved.parallel_dispatch,
+            )
+            self._owns_engine = True
+        self._server_ref: Optional["BEASServer"] = None
+        self._closed = False
+
+    @staticmethod
+    def _chain(
+        options: Optional[ExecutionOptions], profile: EngineProfile
+    ) -> ExecutionOptions:
+        """Session > EngineProfile > environment > built-in defaults."""
+        resolved = ExecutionOptions.from_profile(profile).over(
+            ExecutionOptions.from_environment()
+        ).over(ExecutionOptions.defaults())
+        return options.over(resolved) if options is not None else resolved
+
+    @staticmethod
+    def _check_engine_consistency(
+        options: Optional[ExecutionOptions], engine: ExecutionOptions
+    ) -> None:
+        if options is None:
+            return
+        for name in _ENGINE_PINNED:
+            wanted = getattr(options, name)
+            if wanted is not None and wanted != getattr(engine, name):
+                raise BEASError(
+                    f"{name}={wanted!r} conflicts with the adopted engine's "
+                    f"{name}={getattr(engine, name)!r}; engine-level options "
+                    "are fixed when the BEAS engine is built"
+                )
+
+    def _resolve(
+        self,
+        query_layer: Optional[ExecutionOptions],
+        call_layer: Optional[ExecutionOptions],
+    ) -> ExecutionOptions:
+        """call > Query > (session-resolved) — with the engine-pinned
+        fields guarded against silent divergence."""
+        resolved = self._resolved_options
+        for layer in (query_layer, call_layer):
+            if layer is None:
+                continue
+            for name in _ENGINE_PINNED:
+                wanted = getattr(layer, name)
+                if wanted is not None and wanted != getattr(resolved, name):
+                    raise BEASError(
+                        f"{name}={wanted!r} cannot be overridden per query "
+                        f"or per call (the Session's engine is pinned to "
+                        f"{name}={getattr(resolved, name)!r}); set it on the "
+                        "Session, the EngineProfile, or the environment"
+                    )
+            resolved = layer.over(resolved)
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    @property
+    def beas(self) -> BEAS:
+        """The underlying engine (checker/planner/executor facade)."""
+        return self._beas
+
+    @property
+    def database(self) -> Database:
+        return self._beas.database
+
+    @property
+    def server(self) -> "BEASServer":
+        """The shared sharded serving backend (built on first use; the
+        session's ``server_options`` apply to that first build)."""
+        server = self._server_ref
+        if server is None:
+            server = self._beas._serve(**self._server_options)
+            self._server_ref = server
+        return server
+
+    @property
+    def options(self) -> ExecutionOptions:
+        """The session-resolved options (every field concrete)."""
+        return self._resolved_options
+
+    # ------------------------------------------------------------------ #
+    # the lifecycle
+    # ------------------------------------------------------------------ #
+    def query(self, sql: str, name: Optional[str] = None) -> Query:
+        """Prepare ``sql`` once and return its :class:`Query` handle."""
+        return Query(self, self.server.prepare(sql, name))
+
+    def run(
+        self,
+        sql: Union[str, Any],
+        *,
+        options: Optional[ExecutionOptions] = None,
+        **fields,
+    ) -> Result:
+        """One-shot convenience: ``session.query(sql).run(...)`` without
+        keeping the handle (still served through every cache)."""
+        call_layer = _coerce_options(options, fields)
+        resolved = self._resolve(None, call_layer)
+        raw = self.server.execute(
+            sql,
+            budget=resolved.budget,
+            allow_partial=resolved.allow_partial,
+            approximate_over_budget=resolved.approximate_over_budget,
+            use_result_cache=resolved.use_result_cache,
+            executor=resolved.executor,
+        )
+        return self._wrap(raw, None, resolved)
+
+    def explain(self, sql: str) -> str:
+        return self.query(sql).explain()
+
+    def analyze(self, sql: str, profiles=None):
+        """The Fig.-3 performance panel for a covered query (engine
+        knobs follow this session's resolved options)."""
+        return self._beas.analyze_performance(sql, profiles)
+
+    def _wrap(
+        self,
+        raw: BEASResult,
+        query: Optional[Query],
+        resolved: ExecutionOptions,
+    ) -> Result:
+        decision = Decision(
+            coverage=raw.decision,
+            provenance=raw.metrics.decision_provenance or "fresh",
+            generation=self._beas.catalog.schema_generation,
+            query=query,
+            budget=resolved.budget,
+        )
+        return Result(
+            columns=list(raw.columns),
+            rows=list(raw.rows),
+            mode=raw.mode,
+            metrics=raw.metrics,
+            decision=decision,
+            options=resolved,
+            approximation=raw.approximation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # access schema + maintenance (through the serving locks)
+    # ------------------------------------------------------------------ #
+    def register(self, constraint: AccessConstraint, *, validate: bool = True) -> None:
+        self.server.register(constraint, validate=validate)
+
+    def register_all(
+        self, constraints: Sequence[AccessConstraint], *, validate: bool = True
+    ) -> None:
+        self.server.register_all(constraints, validate=validate)
+
+    def unregister(self, constraint_name: str) -> None:
+        self.server.unregister(constraint_name)
+
+    def insert(self, table_name: str, rows, *, adjust_bounds: bool = False):
+        return self.server.insert(table_name, rows, adjust_bounds=adjust_bounds)
+
+    def delete(self, table_name: str, rows):
+        return self.server.delete(table_name, rows)
+
+    # ------------------------------------------------------------------ #
+    def serve_async(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        admission_limit: Optional[int] = None,
+    ) -> "AsyncBEASServer":
+        """An asyncio front end over this session's serving backend."""
+        from repro.serving.async_server import AsyncBEASServer
+
+        return AsyncBEASServer(
+            self.server,
+            max_workers=max_workers,
+            admission_limit=admission_limit,
+        )
+
+    def stats(self) -> "ServingStats":
+        """Serving counters, including plan-rebind and checker-run
+        totals."""
+        return self.server.stats()
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release engine resources (idempotent).
+
+        Closes the engine pool when this Session built the engine; an
+        adopted engine is left to its owner."""
+        self._closed = True
+        if self._owns_engine:
+            self._beas.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({self._beas.database.name}: {state}, "
+            f"{self._resolved_options.describe()})"
+        )

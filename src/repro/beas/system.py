@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import warnings
 import weakref
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.beas.session import Session
     from repro.serving.async_server import AsyncBEASServer
     from repro.serving.prepared import PreparedQuery
     from repro.serving.server import BEASServer
@@ -35,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.access.catalog import ASCatalog
 from repro.access.constraint import AccessConstraint
 from repro.access.schema import AccessSchema
-from repro.errors import BudgetExceededError
+from repro.errors import BEASDeprecationWarning, BudgetExceededError
 from repro.sql import ast
 from repro.storage.database import Database
 from repro.engine.columnar import resolve_executor_mode, resolve_rows_per_batch
@@ -54,6 +56,15 @@ from repro.bounded.executor import BoundedPlanExecutor
 from repro.bounded.optimizer import BEPlanOptimizer
 from repro.bounded.plan import BoundedPlan, explain_plan
 from repro.beas.result import BEASResult, ExecutionMode
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"BEAS.{old} is deprecated; use {new} — see docs/api.md for the "
+        "Session/Query/Decision/Result lifecycle and migration table",
+        BEASDeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class BEAS:
@@ -106,6 +117,8 @@ class BEAS:
         self._parallel_dispatch = resolve_dispatch(parallel_dispatch)
         self._pool: Optional[EnginePool] = None
         self._pool_lock = threading.Lock()
+        self._pool_spawn_error: Optional[BaseException] = None
+        self._checker_runs_base = 0
         self._host = ConventionalEngine(database, host_profile)
         self._host_engines: dict[str, ConventionalEngine] = {
             host_profile.name: self._host
@@ -116,6 +129,10 @@ class BEAS:
 
     def _refresh_components(self) -> None:
         """Rebuild planner-side objects after the access schema changes."""
+        previous = getattr(self, "_checker", None)
+        if previous is not None:
+            # keep the lifetime run counter monotonic across rebuilds
+            self._checker_runs_base += previous.check_count
         self._checker = BoundedEvaluabilityChecker(
             self.database.schema,
             self.catalog.schema,
@@ -158,9 +175,19 @@ class BEAS:
         pool = self._pool
         if pool is None or pool.closed:
             with self._pool_lock:
+                if self._pool_spawn_error is not None:
+                    # a previous spawn failed (fork refused, pipe limits,
+                    # …): stay in-process instead of re-forking on every
+                    # execution — answers are never wrong, only slower
+                    return None
                 pool = self._pool
                 if pool is None or pool.closed:
-                    pool = EnginePool(self.parallelism)
+                    try:
+                        pool = EnginePool(self.parallelism)
+                    except Exception as error:
+                        self._pool_spawn_error = error
+                        self._pool = None
+                        return None
                     self._pool = pool
                     # workers are daemonic, but close deterministically
                     # when this BEAS is collected (test suites build many)
@@ -177,8 +204,21 @@ class BEAS:
         pool = self._pool
         return pool.stats() if pool is not None and not pool.closed else None
 
+    @property
+    def checker_runs(self) -> int:
+        """Lifetime count of full BE Checker runs (parse/normalize +
+        plan search) this instance has performed, across access-schema
+        changes. The rebinding differential suite asserts that
+        equal-arity plan rebinds never increase it."""
+        return self._checker_runs_base + self._checker.check_count
+
     def close(self) -> None:
         """Shut down the engine pool's worker processes (idempotent).
+
+        Safe to call any number of times, including when the lazy pool
+        spawn previously failed (``_pool_provider`` recorded the error
+        and fell back in-process) — ``with BEAS(...)`` blocks must exit
+        cleanly even after an environment-level fork failure.
 
         Subsequent pooled executions transparently restart the pool; the
         workers are daemonic either way, so an unclosed BEAS cannot
@@ -186,8 +226,12 @@ class BEAS:
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            self._pool_spawn_error = None  # a later restart may retry
         if pool is not None:
-            pool.close()
+            try:
+                pool.close()
+            except Exception:  # pragma: no cover - half-spawned pool
+                pass
 
     def __enter__(self) -> "BEAS":
         return self
@@ -267,14 +311,38 @@ class BEAS:
     ) -> BEASResult:
         """Answer ``query``, choosing the evaluation mode per paper §2.
 
+        .. deprecated:: 2.0
+            Use the unified lifecycle instead:
+            ``session.query(sql).run()`` (see :mod:`repro.beas.session`).
+
         With a ``budget``: covered queries whose deduced bound exceeds it
         either raise :class:`~repro.errors.BudgetExceededError` or, with
         ``approximate_over_budget=True``, take the resource-bounded
         approximation route. ``executor`` overrides the bounded
         pipeline's execution mode ("row"/"columnar") for this query.
         """
+        _deprecated("execute", "Session.query(sql).run()")
+        return self._execute_query(
+            query,
+            budget=budget,
+            allow_partial=allow_partial,
+            approximate_over_budget=approximate_over_budget,
+            executor=executor,
+        )
+
+    def _execute_query(
+        self,
+        query: Union[str, ast.Statement],
+        *,
+        budget: Optional[int] = None,
+        allow_partial: bool = True,
+        approximate_over_budget: bool = False,
+        executor: Optional[str] = None,
+    ) -> BEASResult:
+        """Check-then-execute, shared by the ``execute`` shim and the
+        performance analyzer (no serving caches involved)."""
         decision = self.check(query, budget)
-        return self.execute_decided(
+        return self._execute_decided(
             query,
             decision,
             budget=budget,
@@ -295,8 +363,36 @@ class BEAS:
     ) -> BEASResult:
         """Execute ``query`` under an already-made checker ``decision``.
 
+        .. deprecated:: 2.0
+            Use ``query.decide().run()`` — a pinned
+            :class:`~repro.beas.session.Decision` is the lifecycle's
+            handle for decide-once/execute-many.
+        """
+        _deprecated("execute_decided", "Query.decide().run()")
+        return self._execute_decided(
+            query,
+            decision,
+            budget=budget,
+            allow_partial=allow_partial,
+            approximate_over_budget=approximate_over_budget,
+            executor=executor,
+        )
+
+    def _execute_decided(
+        self,
+        query: Union[str, ast.Statement],
+        decision: CoverageDecision,
+        *,
+        budget: Optional[int] = None,
+        allow_partial: bool = True,
+        approximate_over_budget: bool = False,
+        executor: Optional[str] = None,
+    ) -> BEASResult:
+        """Execute ``query`` under an already-made checker ``decision``.
+
         The serving layer (``repro.serving``) pins decisions in a cache
-        keyed by query fingerprint and access-schema generation and then
+        keyed by query fingerprint and access-schema generation — or
+        rebinds a pinned plan for an equal-arity binding — and then
         executes through this entry point, skipping the BE Checker.
 
         A decision made without a budget carries ``within_budget=None``;
@@ -349,8 +445,25 @@ class BEAS:
     # ------------------------------------------------------------------ #
     # the serving layer (prepared queries + maintenance-aware caches)
     # ------------------------------------------------------------------ #
+    def session(self, **server_options) -> "Session":
+        """The unified Session/Query/Decision/Result lifecycle over this
+        instance (see :mod:`repro.beas.session`): the blessed entry
+        point, replacing ``execute``/``prepare``/``serve``.
+
+        ``server_options`` are forwarded to the shared serving backend
+        (:class:`~repro.serving.server.BEASServer`) when it is first
+        built."""
+        from repro.beas.session import Session
+
+        return Session(beas=self, server_options=server_options or None)
+
     def serve(self, **cache_options) -> "BEASServer":
         """The serving layer over this instance (created once, memoised).
+
+        .. deprecated:: 2.0
+            Use :meth:`session` — a
+            :class:`~repro.beas.session.Session` drives the same sharded
+            serving backend through the unified lifecycle.
 
         The server is **sharded by table**: prepared executes take read
         locks only on their dependency tables and maintenance takes one
@@ -362,6 +475,12 @@ class BEAS:
         forwarded to :class:`~repro.serving.server.BEASServer` on first
         use; pass them on the first call.
         """
+        _deprecated("serve", "BEAS.session() / Session")
+        return self._serve(**cache_options)
+
+    def _serve(self, **cache_options) -> "BEASServer":
+        """The memoised serving backend (non-deprecated internal entry:
+        ``Session`` and the shims share one server per BEAS)."""
         with self._serve_lock:
             if self._server is None:
                 from repro.serving.server import BEASServer
@@ -384,22 +503,34 @@ class BEAS:
     ) -> "AsyncBEASServer":
         """An asyncio front end over the (shared) serving layer.
 
+        .. deprecated:: 2.0
+            Use ``session.serve_async()`` on a
+            :class:`~repro.beas.session.Session`.
+
         Each call builds a fresh front end — its bounded worker pool and
         per-shard maintenance queues belong to the caller's event loop —
         but every front end drives the same memoised sharded
         :class:`~repro.serving.server.BEASServer`, so caches are shared.
         """
+        _deprecated("serve_async", "Session.serve_async()")
         from repro.serving.async_server import AsyncBEASServer
 
         return AsyncBEASServer(
-            self.serve(**cache_options),
+            self._serve(**cache_options),
             max_workers=max_workers,
             admission_limit=admission_limit,
         )
 
     def prepare(self, sql: str, name: Optional[str] = None) -> "PreparedQuery":
-        """Prepare a query template on the default serving layer."""
-        return self.serve().prepare(sql, name)
+        """Prepare a query template on the default serving layer.
+
+        .. deprecated:: 2.0
+            Use ``session.query(sql)`` — a
+            :class:`~repro.beas.session.Query` handle wraps the same
+            prepared template with ``bind``/``decide``/``run``.
+        """
+        _deprecated("prepare", "Session.query(sql)")
+        return self._serve().prepare(sql, name)
 
     # ------------------------------------------------------------------ #
     # data updates (routed through incremental maintenance)
@@ -441,7 +572,10 @@ class BEAS:
     ) -> PerformanceAnalysis:
         """The Fig.-3 analysis panel for a covered query."""
         analyzer = PerformanceAnalyzer(
-            self.catalog, dedup_keys=self._dedup_keys, executor=self.executor
+            self.catalog,
+            dedup_keys=self._dedup_keys,
+            executor=self.executor,
+            rows_per_batch=self._rows_per_batch,
         )
         if profiles is None:
             return analyzer.analyze(query)

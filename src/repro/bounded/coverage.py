@@ -106,6 +106,10 @@ class BoundedEvaluabilityChecker:
         self._access_schema = access_schema
         self._require_exact = require_exact_multiplicities
         self._generator = BoundedPlanGenerator(db_schema, access_schema)
+        #: Number of full checker runs (parse/normalize + plan search)
+        #: this instance has performed. The rebinding differential suite
+        #: asserts that equal-arity plan rebinds never bump it.
+        self.check_count = 0
 
     # ------------------------------------------------------------------ #
     def check(
@@ -114,6 +118,7 @@ class BoundedEvaluabilityChecker:
         budget: Optional[int] = None,
     ) -> CoverageDecision:
         """Decide coverage (and budget feasibility) without executing."""
+        self.check_count += 1
         try:
             statement = parse(query) if isinstance(query, str) else query
         except SQLError as error:

@@ -114,6 +114,28 @@ class BoundedPlan:
     def fetch_ops(self) -> list[FetchOp]:
         return [op for op in self.ops if isinstance(op, FetchOp)]
 
+    def rebound(
+        self, ops: list[PlanOp], cq: ConjunctiveQuery
+    ) -> "BoundedPlan":
+        """A copy of this plan with patched ops/cq and *identical* bounds.
+
+        Used by constraint-preserving plan rebinding
+        (:mod:`repro.bounded.rebind`): when a new binding keeps every
+        equality class's constant arity, the §3 bound arithmetic —
+        ``access_bound``, ``tight_access_bound``, ``output_bound`` — is
+        unchanged by construction, so only the operator pipeline and the
+        canonical query carry new constants.
+        """
+        return BoundedPlan(
+            cq=cq,
+            ops=ops,
+            bag_exact=self.bag_exact,
+            access_bound=self.access_bound,
+            tight_access_bound=self.tight_access_bound,
+            output_bound=self.output_bound,
+            constraints_used=self.constraints_used,
+        )
+
     def describe(self) -> str:
         lines = [op.describe() for op in self.ops]
         lines.append(

@@ -67,6 +67,55 @@ class _UnionFind:
         return groups
 
 
+# --------------------------------------------------------------------------- #
+# equivalence-class constant propagation (shared with plan rebinding)
+# --------------------------------------------------------------------------- #
+def equality_classes(cq: ConjunctiveQuery) -> _UnionFind:
+    """The query's equality classes over every attribute it touches.
+
+    The partition is a property of the query *shape* — occurrences,
+    equi-join atoms, and which attributes appear where — never of the
+    constants, which is what makes constraint-preserving plan reuse
+    across bindings sound (:mod:`repro.bounded.rebind`).
+    """
+    uf = _UnionFind()
+    for binding in cq.occurrences:
+        for column in cq.attributes_of(binding):
+            uf.add(Attribute(binding, column))
+    for left, right in cq.equalities:
+        uf.union(left, right)
+    return uf
+
+
+def class_constant_map(
+    cq: ConjunctiveQuery,
+    uf: _UnionFind,
+    selections: Optional[dict[Attribute, tuple]] = None,
+) -> dict[Attribute, tuple]:
+    """Constants per equality class: intersect the selection values of
+    the class members, in ``selections`` iteration order.
+
+    ``selections`` defaults to ``cq.selections``; rebinding passes a
+    patched copy with fresh constants to recompute the per-class tuples
+    for a new binding without re-running the planner. Distinct classes
+    never share a tuple object — the executor's key planner groups
+    constant key parts by tuple identity, so each class's parts must
+    share exactly one tuple.
+    """
+    if selections is None:
+        selections = cq.selections
+    constants: dict[Attribute, tuple] = {}
+    for attr, values in selections.items():
+        root = uf.find(attr)
+        if root in constants:
+            existing = set(constants[root])
+            merged = tuple(v for v in values if v in existing)
+        else:
+            merged = tuple(values)
+        constants[root] = merged
+    return constants
+
+
 @dataclass
 class _SearchState:
     """Mutable search state; copied when branching."""
@@ -211,24 +260,11 @@ class _PlanContext:
             binding: cq.attributes_of(binding) for binding in cq.occurrences
         }
 
-        # equality classes over all attributes of the query
-        self.uf = _UnionFind()
-        for binding, columns in self.needed.items():
-            for column in columns:
-                self.uf.add(Attribute(binding, column))
-        for left, right in cq.equalities:
-            self.uf.union(left, right)
-
-        # constants per class: intersect the selection values of members
-        self.class_constants: dict[Attribute, tuple] = {}
-        for attr, values in cq.selections.items():
-            root = self.uf.find(attr)
-            if root in self.class_constants:
-                existing = set(self.class_constants[root])
-                merged = tuple(v for v in values if v in existing)
-            else:
-                merged = tuple(values)
-            self.class_constants[root] = merged
+        # equality classes over all attributes of the query, and the
+        # constants per class (intersection over the class members);
+        # shared with the binding-aware rebinder (bounded.rebind)
+        self.uf = equality_classes(cq)
+        self.class_constants = class_constant_map(cq, self.uf)
 
         self._visited: set[tuple] = set()
 

@@ -1,0 +1,223 @@
+"""Binding-aware plan rebinding: reuse a pinned bounded plan across
+bindings without re-running the BE Checker.
+
+BEAS's contract (§3 of the paper) is that a query is *decided once*
+against the access schema and then executed within bounds many times.
+The checker's verdict and the deduced bound arithmetic depend on the
+query *shape* — which equality classes carry constants and how many
+values each class enumerates — never on the constant values themselves:
+equivalence under the registered access constraints is preserved by any
+substitution that keeps the per-class constant arity (the same
+equivalence-under-dependencies reasoning as query equivalence under
+dependencies à la Chirkova & Genesereth). So a
+:class:`~repro.bounded.coverage.CoverageDecision` pinned for one binding
+of a prepared template can be **rebound** for another binding of equal
+arity by patching the plan's constant key parts directly:
+
+* every ``fetch`` op's ``KeyPart(source="const")`` tuples,
+* every ``selection`` op's value tuple,
+* the canonical query's per-attribute selections (consumed by the tail
+  operators),
+
+leaving the deduced bounds — and therefore budget feasibility — exactly
+as pinned. The executor then presents the same *number* of keys per
+fetch in the same canonical order, so ``tuples_fetched`` accounting and
+bound enforcement are identical to a freshly decided plan; the
+rebinding differential suite (``tests/test_rebinding_differential.py``)
+locks rebound-vs-fresh equality down to exact row order and per-fetch-op
+metrics, in the spirit of bag-semantics equivalence checking (Zhou et
+al., PAPERS.md).
+
+The rebind itself is built to be orders of magnitude cheaper than a
+checker run (``benchmarks/bench_rebind.py`` asserts >= 5x across a
+binding stream): :func:`build_rebind_template` precomputes, once per
+(template, arity signature), which plan operators draw constants from
+which equality class and which classes each slot feeds, so a rebind
+only touches the classes the new binding actually changes.
+
+Guards — a rebind is refused (``None``; the caller falls back to a full
+BE Checker run) whenever the new binding could change the decision:
+
+* the serving layer keys pinned templates by an **arity signature**
+  (slot names, IN-list arities, per-value type classes), so a binding
+  that changes a slot's arity, NULL-ness, or type class never reaches a
+  mismatched template in the first place;
+* the rebinder re-derives the per-equality-class constant tuples
+  (class members intersect their values) and refuses when any class's
+  *merged* arity differs from the pinned plan's — two slots joined into
+  one class can intersect differently even at equal per-slot arity;
+* only covered single-block decisions (a :class:`BoundedPlan`) rebind;
+  set operations and not-covered verdicts always re-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Optional
+
+from repro.bounded.coverage import CoverageDecision
+from repro.bounded.plan import BoundedPlan, FetchOp, KeyPart
+from repro.bounded.planner import class_constant_map, equality_classes
+from repro.sql.normalize import Attribute, ConjunctiveQuery
+
+
+def _canonical_selection(values) -> tuple:
+    """Canonicalise one selection's values exactly as the normalizer does
+    (``sql.normalize._intersect_selection``): dedupe, then sort by
+    (type name, value) so the rebound plan enumerates keys in the same
+    order a fresh normalize would."""
+    return tuple(sorted(set(values), key=lambda v: (str(type(v)), v)))
+
+
+class RebindTemplate:
+    """One pinned decision plus a precomputed constant-patch plan.
+
+    Built once per (template fingerprint, arity signature) by
+    :func:`build_rebind_template`; every equal-signature binding then
+    pays only the patch in :meth:`rebind` — no parse, no normalize, no
+    plan search, and no work on equality classes the binding leaves
+    untouched.
+    """
+
+    __slots__ = (
+        "decision",
+        "plan",
+        "pinned_classes",
+        "_sel_contributors",
+        "_roots_by_slot",
+        "_sel_attrs_by_root",
+        "_fetch_patches",
+        "_select_patches",
+    )
+
+    def __init__(self, decision: CoverageDecision):
+        self.decision = decision
+        plan = decision.plan
+        assert isinstance(plan, BoundedPlan)
+        self.plan: BoundedPlan = plan
+        cq = plan.cq
+        uf = equality_classes(cq)
+        self.pinned_classes = class_constant_map(cq, uf)
+
+        # per class root, the ordered contributors to its merged constant
+        # tuple: (slot name or None, the template's own value tuple)
+        self._sel_contributors: dict[Attribute, list[tuple[Optional[str], tuple]]] = {}
+        self._roots_by_slot: dict[str, set[Attribute]] = {}
+        self._sel_attrs_by_root: dict[Attribute, list[Attribute]] = {}
+        for attr, values in cq.selections.items():
+            root = uf.find(attr)
+            name = str(attr)
+            self._sel_contributors.setdefault(root, []).append((name, values))
+            self._roots_by_slot.setdefault(name, set()).add(root)
+            self._sel_attrs_by_root.setdefault(root, []).append(attr)
+
+        # the patch plan: which ops draw constants from which class
+        self._fetch_patches: list[tuple[int, list[tuple[int, Attribute]]]] = []
+        self._select_patches: list[tuple[int, Attribute]] = []
+        for index, op in enumerate(plan.ops):
+            if isinstance(op, FetchOp):
+                const_parts = [
+                    (i, uf.find(Attribute(op.binding, part.attribute)))
+                    for i, part in enumerate(op.key_parts)
+                    if part.source == "const"
+                ]
+                if const_parts:
+                    self._fetch_patches.append((index, const_parts))
+            elif op.kind == "selection":
+                self._select_patches.append((index, uf.find(op.column)))
+
+    # ------------------------------------------------------------------ #
+    def rebind(
+        self, overrides: Mapping[str, tuple]
+    ) -> Optional[CoverageDecision]:
+        """The pinned decision patched for ``overrides``, or ``None``
+        when a guard demands a full re-check.
+
+        ``overrides`` maps resolved slot names to canonical value tuples
+        (``repro.serving.params.resolve_overrides`` output). Slots not
+        overridden keep the template's own constants.
+        """
+        # which equality classes does this binding actually touch?
+        affected: set[Attribute] = set()
+        for name in overrides:
+            roots = self._roots_by_slot.get(name)
+            if roots is None:
+                return None  # unknown slot: shape mismatch, re-check
+            affected.update(roots)
+        if not affected:
+            return self.decision  # the template's own constants
+
+        # re-derive the merged constants of the touched classes only;
+        # any merged-arity change would change the deduced bounds, so it
+        # forces a full re-check (the guard)
+        class_tuples: dict[Attribute, tuple] = {}
+        new_attr_values: dict[Attribute, tuple] = {}
+        for root in affected:
+            merged: Optional[tuple] = None
+            for attr, (name, template_values) in zip(
+                self._sel_attrs_by_root[root], self._sel_contributors[root]
+            ):
+                fresh = overrides.get(name)
+                values = (
+                    _canonical_selection(fresh)
+                    if fresh is not None
+                    else template_values
+                )
+                new_attr_values[attr] = values
+                if merged is None:
+                    merged = values
+                else:
+                    existing = set(merged)
+                    merged = tuple(v for v in values if v in existing)
+            assert merged is not None
+            if len(merged) != len(self.pinned_classes[root]):
+                return None  # merged arity changed: bounds would move
+            class_tuples[root] = merged
+
+        # patch the operator pipeline (untouched ops are shared)
+        plan = self.plan
+        new_ops = list(plan.ops)
+        for index, const_parts in self._fetch_patches:
+            op = plan.ops[index]
+            if not any(root in class_tuples for _, root in const_parts):
+                continue
+            parts = list(op.key_parts)
+            for i, root in const_parts:
+                values = class_tuples.get(root)
+                if values is not None:
+                    parts[i] = KeyPart(
+                        parts[i].attribute, "const", values=values
+                    )
+            new_ops[index] = replace(op, key_parts=parts)
+        for index, root in self._select_patches:
+            values = class_tuples.get(root)
+            if values is not None:
+                new_ops[index] = replace(plan.ops[index], values=values)
+
+        # patch the canonical query's selections (tail-operator input)
+        new_selections = dict(plan.cq.selections)
+        new_selections.update(new_attr_values)
+        new_cq = replace(plan.cq, selections=new_selections)
+        return replace(self.decision, plan=plan.rebound(new_ops, new_cq))
+
+
+def build_rebind_template(
+    decision: CoverageDecision, overrides: Mapping[str, tuple]
+) -> Optional[RebindTemplate]:
+    """A :class:`RebindTemplate` for a freshly pinned decision, or
+    ``None`` when the decision cannot soundly rebind (not covered, a set
+    operation, or an override that does not surface as a selection).
+
+    ``overrides`` is the binding the decision was pinned under; its keys
+    delimit which selections future equal-signature bindings may patch.
+    """
+    if not decision.covered or not isinstance(decision.plan, BoundedPlan):
+        return None
+    cq: ConjunctiveQuery = decision.plan.cq
+    selection_names = {str(attr) for attr in cq.selections}
+    for name in overrides:
+        if name not in selection_names:
+            # the slot's conjunct did not normalize to a selection (e.g.
+            # it was absorbed elsewhere): patching would be unsound
+            return None
+    return RebindTemplate(decision)

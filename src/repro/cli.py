@@ -35,7 +35,7 @@ from typing import Optional, Sequence
 
 from repro.access.io import dump_schema, load_schema
 from repro.access.conformance import check_database
-from repro.beas.system import BEAS
+from repro.beas.session import ExecutionOptions, Session
 from repro.discovery import DiscoveryObjective, discover
 from repro.errors import ReproError
 from repro.sql.script import run_script
@@ -58,15 +58,22 @@ def _load_database(data_dir: Path) -> Database:
     return database
 
 
-def _build_beas(args: argparse.Namespace) -> BEAS:
+def _build_session(
+    args: argparse.Namespace, **server_options
+) -> Session:
+    """One Session per CLI invocation (the unified lifecycle)."""
     database = _load_database(Path(args.data))
     schema = load_schema(Path(args.schema)) if args.schema else None
-    return BEAS(
-        database,
-        schema,
+    options = ExecutionOptions(
         executor=getattr(args, "executor", None),
         rows_per_batch=getattr(args, "rows_per_batch", None),
         parallelism=getattr(args, "parallelism", None),
+    )
+    return Session(
+        database,
+        schema,
+        options=options,
+        server_options=server_options or None,
     )
 
 
@@ -82,39 +89,39 @@ def _read_query(args: argparse.Namespace) -> str:
 # commands
 # --------------------------------------------------------------------------- #
 def _cmd_check(args: argparse.Namespace) -> int:
-    beas = _build_beas(args)
-    decision = beas.check(_read_query(args), budget=args.budget)
-    print(decision.describe())
-    return 0 if decision.covered else 1
+    with _build_session(args) as session:
+        decision = session.query(_read_query(args)).decide(budget=args.budget)
+        print(decision.coverage.describe())
+        return 0 if decision.covered else 1
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    beas = _build_beas(args)
-    print(beas.explain(_read_query(args)))
+    with _build_session(args) as session:
+        print(session.explain(_read_query(args)))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    beas = _build_beas(args)
-    result = beas.execute(
-        _read_query(args),
-        budget=args.budget,
-        approximate_over_budget=args.approximate,
-    )
-    print("\t".join(result.columns))
-    limit = args.limit if args.limit is not None else len(result.rows)
-    for row in result.rows[:limit]:
-        print("\t".join("NULL" if v is None else str(v) for v in row))
-    if limit < len(result.rows):
-        print(f"... ({len(result.rows) - limit} more rows)")
-    print(f"-- {result.describe()}", file=sys.stderr)
+    with _build_session(args) as session:
+        result = session.run(
+            _read_query(args),
+            budget=args.budget,
+            approximate_over_budget=args.approximate,
+        )
+        print("\t".join(result.columns))
+        limit = args.limit if args.limit is not None else len(result.rows)
+        for row in result.rows[:limit]:
+            print("\t".join("NULL" if v is None else str(v) for v in row))
+        if limit < len(result.rows):
+            print(f"... ({len(result.rows) - limit} more rows)")
+        print(f"-- {result.describe()}", file=sys.stderr)
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    beas = _build_beas(args)
-    analysis = beas.analyze_performance(_read_query(args))
-    print(analysis.describe())
+    with _build_session(args) as session:
+        analysis = session.beas.analyze_performance(_read_query(args))
+        print(analysis.describe())
     return 0
 
 
@@ -188,30 +195,29 @@ def _parse_params(raw: Optional[Sequence[str]], slots) -> dict:
 
 
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
-    beas = _build_beas(args)
-    try:
-        return _serve_stats(args, beas)
-    finally:
-        beas.close()  # shut pool workers down even when the run errors
+    # shuts pool workers down even when the run errors (Session.close)
+    with _build_session(args, sharded=not args.baseline) as session:
+        return _serve_stats(args, session)
 
 
-def _serve_stats(args: argparse.Namespace, beas: BEAS) -> int:
+def _serve_stats(args: argparse.Namespace, session: Session) -> int:
     import threading
     import time
 
-    server = beas.serve(sharded=not args.baseline)
-    prepared = server.prepare(_read_query(args), name="cli-query")
-    params = _parse_params(args.param, prepared.slots) or None
-    if prepared.slots:
+    query = session.query(_read_query(args), name="cli-query")
+    params = _parse_params(args.param, query.slots) or None
+    if params:
+        query = query.bind(params)
+    if query.slots:
         print("slots: " + "; ".join(
-            prepared.slots[name].describe() for name in sorted(prepared.slots)
+            query.slots[name].describe() for name in sorted(query.slots)
         ))
     repeats = max(args.repeat, 1)
     latencies: list[float] = []
     cold_result = result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = prepared.execute(params, budget=args.budget)
+        result = query.run(budget=args.budget)
         latencies.append(time.perf_counter() - start)
         if cold_result is None:
             cold_result = result
@@ -224,6 +230,7 @@ def _serve_stats(args: argparse.Namespace, beas: BEAS) -> int:
     # execution work): which pipeline answered, how batched, and how
     # much of it ran on engine-pool workers
     metrics = cold_result.metrics
+    beas = session.beas
     executor_mode = "columnar" if metrics.rows_per_batch else beas.executor
     line = (
         f"executor: mode={executor_mode} "
@@ -253,7 +260,7 @@ def _serve_stats(args: argparse.Namespace, beas: BEAS) -> int:
             try:
                 barrier.wait()
                 for _ in range(repeats):
-                    prepared.execute(params, budget=args.budget)
+                    query.run(budget=args.budget)
             except Exception as error:  # noqa: BLE001 - reported below
                 errors.append(error)
 
@@ -277,7 +284,7 @@ def _serve_stats(args: argparse.Namespace, beas: BEAS) -> int:
             f"in {elapsed * 1000:.1f} ms "
             f"({total / max(elapsed, 1e-9):,.0f} ops/s aggregate)"
         )
-    print(server.stats().describe())
+    print(session.stats().describe())
     return 0
 
 

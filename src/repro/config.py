@@ -1,0 +1,184 @@
+"""Central configuration: every ``BEAS_*`` environment variable.
+
+One place reads and validates the environment knobs the engine honours,
+replacing the ad-hoc ``os.environ`` parses that had grown in
+``engine.columnar`` (``BEAS_EXECUTOR``, ``BEAS_ROWS_PER_BATCH``),
+``engine.pool`` (``BEAS_PARALLELISM``, ``BEAS_POOL_START_METHOD``) and
+the fuzz suites (``BEAS_FUZZ_SEEDS``). Every reader raises
+:class:`~repro.errors.BEASError` at *construction* time on a malformed
+value — a typo in CI or a deployment manifest fails with a clear
+message, never as a downstream execution error.
+
+The variables, and where they sit in the option-precedence chain
+(call > Query > Session > :class:`~repro.engine.profiles.EngineProfile`
+> environment — see ``docs/api.md``):
+
+===========================  ==============================================
+``BEAS_EXECUTOR``            bounded execution mode: ``row`` | ``columnar``
+``BEAS_ROWS_PER_BATCH``      columnar batch size (positive int)
+``BEAS_PARALLELISM``         engine-pool worker processes (positive int)
+``BEAS_POOL_START_METHOD``   multiprocessing start method for the pool
+``BEAS_FUZZ_SEEDS``          seed count for the differential fuzz suites
+===========================  ==============================================
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import BEASError
+
+ENV_EXECUTOR = "BEAS_EXECUTOR"
+ENV_ROWS_PER_BATCH = "BEAS_ROWS_PER_BATCH"
+ENV_PARALLELISM = "BEAS_PARALLELISM"
+ENV_POOL_START_METHOD = "BEAS_POOL_START_METHOD"
+ENV_FUZZ_SEEDS = "BEAS_FUZZ_SEEDS"
+
+#: Bounded-pipeline execution modes.
+EXECUTOR_MODES = ("row", "columnar")
+
+#: Engine-pool dispatch strategies.
+DISPATCH_MODES = ("auto", "plan", "batch")
+
+#: Default number of rows per processing batch in columnar mode.
+DEFAULT_ROWS_PER_BATCH = 4096
+
+
+# --------------------------------------------------------------------------- #
+# validators (shared by env readers, BEAS construction, ExecutionOptions)
+# --------------------------------------------------------------------------- #
+def validate_executor(mode: str, *, source: str = "executor") -> str:
+    if mode not in EXECUTOR_MODES:
+        raise BEASError(
+            f"unknown {source} mode {mode!r} (expected "
+            f"{' or '.join(repr(m) for m in EXECUTOR_MODES)})"
+        )
+    return mode
+
+
+def _validate_positive_int(value, source: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise BEASError(
+            f"{source} must be an int, got {type(value).__name__} ({value!r})"
+        )
+    if value < 1:
+        raise BEASError(f"{source} must be >= 1, got {value}")
+    return value
+
+
+def validate_rows_per_batch(value, *, source: str = "rows_per_batch") -> int:
+    return _validate_positive_int(value, source)
+
+
+def validate_parallelism(value, *, source: str = "parallelism") -> int:
+    return _validate_positive_int(value, source)
+
+
+def validate_dispatch(mode: str, *, source: str = "parallel_dispatch") -> str:
+    if mode not in DISPATCH_MODES:
+        raise BEASError(
+            f"unknown {source} {mode!r} (expected one of "
+            f"{', '.join(DISPATCH_MODES)})"
+        )
+    return mode
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise BEASError(f"{name} must be an integer, got {raw!r}") from None
+
+
+# --------------------------------------------------------------------------- #
+# environment readers (None when the variable is unset/empty)
+# --------------------------------------------------------------------------- #
+def env_executor() -> Optional[str]:
+    raw = os.environ.get(ENV_EXECUTOR)
+    if not raw:
+        return None
+    return validate_executor(raw, source=ENV_EXECUTOR)
+
+
+def env_rows_per_batch() -> Optional[int]:
+    value = _env_int(ENV_ROWS_PER_BATCH)
+    if value is None:
+        return None
+    return validate_rows_per_batch(value, source=ENV_ROWS_PER_BATCH)
+
+
+def env_parallelism() -> Optional[int]:
+    value = _env_int(ENV_PARALLELISM)
+    if value is None:
+        return None
+    return validate_parallelism(value, source=ENV_PARALLELISM)
+
+
+def env_pool_start_method() -> Optional[str]:
+    raw = os.environ.get(ENV_POOL_START_METHOD)
+    if not raw:
+        return None
+    available = multiprocessing.get_all_start_methods()
+    if raw not in available:
+        raise BEASError(
+            f"{ENV_POOL_START_METHOD} must be one of "
+            f"{', '.join(available)}, got {raw!r}"
+        )
+    return raw
+
+
+def env_fuzz_seeds(default: int = 8) -> int:
+    value = _env_int(ENV_FUZZ_SEEDS)
+    if value is None:
+        return default
+    if value < 1:
+        raise BEASError(f"{ENV_FUZZ_SEEDS} must be >= 1, got {value}")
+    return value
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EnvConfig:
+    """A validated snapshot of every ``BEAS_*`` environment variable.
+
+    ``None`` fields were unset; loading raises
+    :class:`~repro.errors.BEASError` when any variable is malformed, so
+    one :func:`load_env_config` call at startup surfaces every
+    environment problem before the first query runs.
+    """
+
+    executor: Optional[str] = None
+    rows_per_batch: Optional[int] = None
+    parallelism: Optional[int] = None
+    pool_start_method: Optional[str] = None
+    fuzz_seeds: int = 8
+
+    def describe(self) -> str:
+        pairs = [
+            (ENV_EXECUTOR, self.executor),
+            (ENV_ROWS_PER_BATCH, self.rows_per_batch),
+            (ENV_PARALLELISM, self.parallelism),
+            (ENV_POOL_START_METHOD, self.pool_start_method),
+            (ENV_FUZZ_SEEDS, self.fuzz_seeds),
+        ]
+        return "\n".join(
+            f"{name}={'(unset)' if value is None else value}"
+            for name, value in pairs
+        )
+
+
+def load_env_config(*, fuzz_default: int = 8) -> EnvConfig:
+    """Read and validate the whole ``BEAS_*`` environment at once."""
+    return EnvConfig(
+        executor=env_executor(),
+        rows_per_batch=env_rows_per_batch(),
+        parallelism=env_parallelism(),
+        pool_start_method=env_pool_start_method(),
+        fuzz_seeds=env_fuzz_seeds(fuzz_default),
+    )

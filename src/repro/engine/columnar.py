@@ -23,11 +23,12 @@ equivalent. The row-vs-columnar differential suite
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
-from repro.errors import BEASError, ExecutionError
+from repro import config
+from repro.config import DEFAULT_ROWS_PER_BATCH, EXECUTOR_MODES
+from repro.errors import ExecutionError
 from repro.sql import ast
 from repro.sql.normalize import Attribute
 from repro.engine.expressions import (
@@ -36,22 +37,14 @@ from repro.engine.expressions import (
     compile_predicate,
 )
 
-#: Default number of rows per processing batch in columnar mode.
-DEFAULT_ROWS_PER_BATCH = 4096
-
-EXECUTOR_MODES = ("row", "columnar")
-
-
 def resolve_executor_mode(executor: Optional[str]) -> str:
     """Resolve an executor mode: explicit argument, else the
     ``BEAS_EXECUTOR`` environment variable (the CI columnar matrix leg),
-    else row mode."""
-    mode = executor or os.environ.get("BEAS_EXECUTOR") or "row"
-    if mode not in EXECUTOR_MODES:
-        raise ExecutionError(
-            f"unknown executor mode {mode!r} (expected 'row' or 'columnar')"
-        )
-    return mode
+    else row mode. Unknown modes raise
+    :class:`~repro.errors.BEASError` at construction time (like the
+    other engine options) instead of failing deep in the executor."""
+    mode = executor if executor is not None else config.env_executor()
+    return config.validate_executor(mode or "row")
 
 
 def resolve_rows_per_batch(rows_per_batch: Optional[int]) -> int:
@@ -63,23 +56,9 @@ def resolve_rows_per_batch(rows_per_batch: Optional[int]) -> int:
     query runs into them.
     """
     if rows_per_batch is None:
-        raw = os.environ.get("BEAS_ROWS_PER_BATCH")
-        if not raw:
-            return DEFAULT_ROWS_PER_BATCH
-        try:
-            rows_per_batch = int(raw)
-        except ValueError:
-            raise BEASError(
-                f"BEAS_ROWS_PER_BATCH must be an integer, got {raw!r}"
-            ) from None
-    if not isinstance(rows_per_batch, int) or isinstance(rows_per_batch, bool):
-        raise BEASError(
-            f"rows_per_batch must be an int, got "
-            f"{type(rows_per_batch).__name__} ({rows_per_batch!r})"
-        )
-    if rows_per_batch < 1:
-        raise BEASError(f"rows_per_batch must be >= 1, got {rows_per_batch}")
-    return rows_per_batch
+        env = config.env_rows_per_batch()
+        return DEFAULT_ROWS_PER_BATCH if env is None else env
+    return config.validate_rows_per_batch(rows_per_batch)
 
 
 # --------------------------------------------------------------------------- #

@@ -36,6 +36,12 @@ class ExecutionMetrics:
     cache_hits: int = 0  # serving-cache hits while answering this request
     cache_misses: int = 0  # serving-cache misses while answering this request
     served_from_cache: bool = False  # rows came from the result cache
+    # how the coverage decision driving this request was obtained:
+    # "fresh" (full BE Checker run), "cached" (exact decision-cache hit),
+    # "rebound" (constraint-preserving plan rebind, no checker run),
+    # "result-cache" (rows served straight from the result cache), or ""
+    # when the request bypassed the serving layer
+    decision_provenance: str = ""
     # --- columnar-executor counters (engine.columnar) ---
     rows_per_batch: int = 0  # configured batch size (0 = row executor)
     batches: int = 0  # column batches processed (fetch inputs + tail)

@@ -48,10 +48,9 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional, Sequence
 
+from repro import config
+from repro.config import DISPATCH_MODES
 from repro.errors import BEASError, ReproError
-
-#: Dispatch strategies for a pooled bounded execution.
-DISPATCH_MODES = ("auto", "plan", "batch")
 
 
 def resolve_parallelism(
@@ -63,37 +62,19 @@ def resolve_parallelism(
 
     Explicit values must be positive integers (1 = in-process, >= 2
     enables the pool); anything else raises
-    :class:`~repro.errors.BEASError` at construction time.
+    :class:`~repro.errors.BEASError` at construction time (the
+    environment is validated by :mod:`repro.config`).
     """
     if parallelism is None:
-        raw = os.environ.get("BEAS_PARALLELISM")
-        if raw:
-            try:
-                parallelism = int(raw)
-            except ValueError:
-                raise BEASError(
-                    f"BEAS_PARALLELISM must be an integer, got {raw!r}"
-                ) from None
-        else:
+        env = config.env_parallelism()
+        if env is None:
             return max(default, 1)
-    if not isinstance(parallelism, int) or isinstance(parallelism, bool):
-        raise BEASError(
-            f"parallelism must be an int, got "
-            f"{type(parallelism).__name__} ({parallelism!r})"
-        )
-    if parallelism < 1:
-        raise BEASError(f"parallelism must be >= 1, got {parallelism}")
-    return parallelism
+        return env
+    return config.validate_parallelism(parallelism)
 
 
 def resolve_dispatch(dispatch: Optional[str]) -> str:
-    mode = dispatch or "auto"
-    if mode not in DISPATCH_MODES:
-        raise BEASError(
-            f"unknown pool dispatch {mode!r} (expected one of "
-            f"{', '.join(DISPATCH_MODES)})"
-        )
-    return mode
+    return config.validate_dispatch(dispatch or "auto")
 
 
 # --------------------------------------------------------------------------- #
@@ -453,7 +434,7 @@ class EnginePool:
         # per pool here (each worker re-imports the package); set
         # BEAS_POOL_START_METHOD=forkserver/spawn to trade startup time
         # for full isolation.
-        method = start_method or os.environ.get("BEAS_POOL_START_METHOD")
+        method = start_method or config.env_pool_start_method()
         if method is None:
             available = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in available else "spawn"

@@ -40,6 +40,10 @@ class EngineProfile:
     # built on this profile. The conventional scan engine itself stays
     # in-process in every configuration.
     parallelism: int = 0
+    # Engine-pool fan-out unit ('auto' | 'plan' | 'batch'); participates
+    # in the Session option-precedence chain (call > Query > Session >
+    # profile > environment) like the other engine knobs.
+    parallel_dispatch: str = "auto"
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("hash", "sort_merge", "block_nested"):
@@ -56,6 +60,10 @@ class EngineProfile:
             raise ValueError("parallelism must be an int")
         if self.parallelism < 0:
             raise ValueError("parallelism must be >= 0")
+        if self.parallel_dispatch not in ("auto", "plan", "batch"):
+            raise ValueError(
+                f"unknown parallel_dispatch {self.parallel_dispatch!r}"
+            )
 
 
 # Overheads are calibrated so the profiles reproduce the paper's consistent

@@ -97,11 +97,25 @@ class ConformanceError(AccessSchemaError):
 class BEASError(ReproError):
     """Invalid BEAS configuration.
 
-    Raised at construction time for bad engine options — a non-integer
-    or non-positive ``rows_per_batch``/``parallelism``, an invalid
-    ``BEAS_PARALLELISM``/``BEAS_ROWS_PER_BATCH`` environment override,
-    or an unknown pool dispatch strategy — so misconfiguration fails
-    with a clear message instead of a downstream execution error.
+    Raised at construction time for bad engine options — an unknown
+    ``executor`` mode, a non-integer or non-positive
+    ``rows_per_batch``/``parallelism``, a malformed ``BEAS_*``
+    environment override (see :mod:`repro.config`), an unknown pool
+    dispatch strategy, or an inconsistent
+    :class:`~repro.beas.session.ExecutionOptions` layer — so
+    misconfiguration fails with a clear message instead of a downstream
+    execution error.
+    """
+
+
+class BEASDeprecationWarning(DeprecationWarning):
+    """A deprecated entry point of the pre-Session public API was used.
+
+    The ``Session`` / ``Query`` / ``Decision`` / ``Result`` lifecycle
+    (``repro.beas.session``) replaces the divergent ``BEAS.execute`` /
+    ``execute_decided`` / ``prepare`` / ``serve`` / ``serve_async``
+    paths; the old names remain as thin shims delegating to the new
+    model. See ``docs/api.md`` for the migration table.
     """
 
 

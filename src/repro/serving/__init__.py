@@ -37,8 +37,13 @@ Entry points::
 
 from repro.serving.async_server import AsyncBEASServer, AsyncServingStats
 from repro.serving.cache import CacheStats, LRUCache, approx_size
-from repro.serving.params import ParameterSlot, extract_slots, substitute
-from repro.serving.prepared import PreparedQuery
+from repro.serving.params import (
+    ParameterSlot,
+    extract_slots,
+    rebind_signature,
+    substitute,
+)
+from repro.serving.prepared import PreparedBinding, PreparedQuery
 from repro.serving.server import BEASServer, ServingStats
 from repro.serving.shard import (
     LockStats,
@@ -56,8 +61,10 @@ __all__ = [
     "LockStats",
     "LRUCache",
     "ParameterSlot",
+    "PreparedBinding",
     "PreparedQuery",
     "ServingStats",
+    "rebind_signature",
     "ShardLock",
     "ShardStats",
     "StripedCache",

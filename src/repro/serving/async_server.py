@@ -24,9 +24,9 @@ threads driving one sharded :class:`~repro.serving.server.BEASServer`:
   concurrent CPU-bound clients escape the GIL instead of time-slicing
   it; the pool's counters surface through ``stats().serving.pool``.
 
-Typical use::
+Typical use (via :meth:`repro.beas.session.Session.serve_async`)::
 
-    async with AsyncBEASServer(beas.serve()) as aserver:
+    async with session.serve_async() as aserver:
         results = await asyncio.gather(
             *(aserver.execute(sql) for sql in queries)
         )
@@ -111,7 +111,7 @@ class AsyncBEASServer:
         admission_limit: Optional[int] = None,
     ):
         if not isinstance(server, BEASServer):
-            server = server.serve()
+            server = server._serve()  # shared memoised backend, no shim
         self._server = server
         self._workers = max_workers or _default_workers()
         self._pool = ThreadPoolExecutor(
@@ -202,6 +202,21 @@ class AsyncBEASServer:
 
     async def check(self, query, budget=None) -> "CoverageDecision":
         return await self._run(partial(self._server.check, query, budget))
+
+    async def decide_prepared(
+        self,
+        prepared: Union[str, PreparedQuery],
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        budget: Optional[int] = None,
+    ) -> tuple["CoverageDecision", str]:
+        """The (possibly rebound) decision for one binding plus its
+        cache provenance — see :meth:`BEASServer.decide_prepared`."""
+        return await self._run(
+            partial(
+                self._server.decide_prepared, prepared, params, budget=budget
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # maintenance: one FIFO queue + drainer per table

@@ -228,4 +228,23 @@ def binding_signature(overrides: Mapping[str, tuple]) -> tuple:
     return tuple(sorted(overrides.items()))
 
 
+def rebind_signature(overrides: Mapping[str, tuple]) -> tuple:
+    """The binding's *shape*: slot names, IN-list arities, and per-value
+    type classes — everything the checker's verdict and bound arithmetic
+    can depend on, with the constant values abstracted away.
+
+    The serving layer keys pinned rebind templates by this signature
+    (plus the template fingerprint and access-schema generation), so two
+    bindings share a pinned plan exactly when constraint-preserving
+    rebinding is sound for them: equal arity and type class per slot.
+    NULL-ness never appears — :func:`canonical_values` rejects NULL
+    overrides outright (``x = NULL`` never holds), so a NULL-bearing
+    binding cannot reach the rebind path at all.
+    """
+    return tuple(
+        (name, len(values), tuple(type(v).__name__ for v in values))
+        for name, values in sorted(overrides.items())
+    )
+
+
 Override = Union[Any, Sequence[Any]]

@@ -12,8 +12,10 @@ normalizer, nor the BE Checker.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
+from types import MappingProxyType
 from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.sql import ast
@@ -22,6 +24,7 @@ from repro.serving.params import (
     ParameterSlot,
     binding_signature,
     extract_slots,
+    rebind_signature,
     resolve_overrides,
     substitute,
 )
@@ -33,6 +36,90 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Distinct bindings whose substituted AST + fingerprint stay memoised.
 _BINDING_CACHE_LIMIT = 64
+
+
+def binding_fingerprint(template_fingerprint: str, resolved: Mapping) -> str:
+    """A stable fingerprint for (template, canonical overrides).
+
+    Derived from the template's canonical fingerprint plus the resolved
+    overrides (already deduped/sorted by ``canonical_values``), so it is
+    computed in microseconds — without substituting and canonically
+    re-printing the bound AST. The same bound query arriving as raw SQL
+    text hashes under its own statement fingerprint instead; per
+    ``sql.fingerprint``'s doctrine, a missed equivalence costs a cache
+    miss, never a wrong answer.
+    """
+    preimage = (
+        template_fingerprint + "|" + repr(tuple(sorted(resolved.items())))
+    )
+    return hashlib.sha256(preimage.encode("utf-8")).hexdigest()
+
+
+class PreparedBinding:
+    """One concrete binding of a prepared template.
+
+    Carries everything the serving layer needs to execute the binding
+    *and* to reuse a pinned plan across bindings: its fingerprint
+    (result-cache key — the values matter for answers), the resolved
+    slot overrides, and the binding's arity/type-class
+    :func:`~repro.serving.params.rebind_signature` (rebind-template key
+    — only the shape matters for plan reuse).
+
+    The substituted ``statement`` is built **lazily**: a binding whose
+    decision is served by rebinding (or from the exact decision cache)
+    and whose plan covers the query never needs its own AST at decision
+    time, so the common serving path skips the substitution entirely.
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "overrides",
+        "signature",
+        "_statement",
+        "_template_statement",
+        "_schema",
+    )
+
+    def __init__(
+        self,
+        statement: Optional[ast.Statement],
+        fingerprint: str,
+        overrides: Optional[Mapping[str, tuple]] = None,
+        signature: tuple = (),
+        *,
+        template_statement: Optional[ast.Statement] = None,
+        schema=None,
+    ):
+        self._statement = statement
+        self.fingerprint = fingerprint
+        self.overrides: Mapping[str, tuple] = (
+            overrides if overrides is not None else {}
+        )
+        self.signature = signature
+        self._template_statement = template_statement
+        self._schema = schema
+
+    @property
+    def statement(self) -> ast.Statement:
+        statement = self._statement
+        if statement is None:
+            # pure + idempotent: a concurrent duplicate build is benign
+            statement = substitute(
+                self._template_statement, self.overrides, self._schema
+            )
+            self._statement = statement
+        return statement
+
+    @property
+    def is_template(self) -> bool:
+        """True when this binding is the template's own constants."""
+        return not self.overrides
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedBinding({self.fingerprint[:12]}…, "
+            f"overrides={sorted(self.overrides)})"
+        )
 
 
 class PreparedQuery:
@@ -57,40 +144,54 @@ class PreparedQuery:
             statement, server.database.schema
         )
         self.name = name or f"pq-{self.fingerprint[:12]}"
-        self._bindings: OrderedDict[tuple, tuple[ast.Statement, str]] = (
-            OrderedDict()
-        )
+        self._template_binding = PreparedBinding(statement, self.fingerprint)
+        self._bindings: OrderedDict[tuple, PreparedBinding] = OrderedDict()
         # one handle is shared by every thread executing the template;
         # the memo's OrderedDict reordering is not safe bare
         self._bindings_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
+    def binding(
+        self, params: Optional[Mapping[str, Any]] = None
+    ) -> PreparedBinding:
+        """The concrete :class:`PreparedBinding` for one set of overrides.
+
+        With no overrides the template's own constants are used. Distinct
+        bindings are memoised (LRU) so repeated executes skip the
+        substitution, the canonical re-print, and the signature build.
+        """
+        if not params:
+            return self._template_binding
+        schema = self._server.database.schema
+        resolved = resolve_overrides(params, self.slots, self.statement, schema)
+        memo_key = binding_signature(resolved)
+        with self._bindings_lock:
+            cached = self._bindings.get(memo_key)
+            if cached is not None:
+                self._bindings.move_to_end(memo_key)
+                return cached
+        bound = PreparedBinding(
+            statement=None,  # substituted lazily, on first .statement use
+            fingerprint=binding_fingerprint(self.fingerprint, resolved),
+            overrides=MappingProxyType(dict(resolved)),
+            signature=rebind_signature(resolved),
+            template_statement=self.statement,
+            schema=schema,
+        )
+        with self._bindings_lock:
+            self._bindings[memo_key] = bound
+            while len(self._bindings) > _BINDING_CACHE_LIMIT:
+                self._bindings.popitem(last=False)
+        return bound
+
     def bind(
         self, params: Optional[Mapping[str, Any]] = None
     ) -> tuple[ast.Statement, str]:
-        """The concrete (statement, fingerprint) for one set of overrides.
-
-        With no overrides the template's own constants are used. Distinct
-        bindings are memoised (LRU) so repeated executes skip both the
-        substitution and the canonical re-print.
-        """
-        if not params:
-            return self.statement, self.fingerprint
-        schema = self._server.database.schema
-        resolved = resolve_overrides(params, self.slots, self.statement, schema)
-        signature = binding_signature(resolved)
-        with self._bindings_lock:
-            cached = self._bindings.get(signature)
-            if cached is not None:
-                self._bindings.move_to_end(signature)
-                return cached
-        statement = substitute(self.statement, resolved, schema)
-        fingerprint = statement_fingerprint(statement)
-        with self._bindings_lock:
-            self._bindings[signature] = (statement, fingerprint)
-            while len(self._bindings) > _BINDING_CACHE_LIMIT:
-                self._bindings.popitem(last=False)
-        return statement, fingerprint
+        """The concrete (statement, fingerprint) for one set of overrides
+        (the narrow view of :meth:`binding`, kept for callers that only
+        need the substituted AST)."""
+        bound = self.binding(params)
+        return bound.statement, bound.fingerprint
 
     def clear_bindings(self) -> None:
         """Drop the per-binding memo (``BEASServer.reset_caches``)."""

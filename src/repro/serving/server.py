@@ -52,6 +52,8 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Hashable, Mapping, Optional, Union
 
 from repro.beas.result import BEASResult, ExecutionMode
+from repro.bounded.rebind import RebindTemplate, build_rebind_template
+from repro.engine.columnar import resolve_executor_mode
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.pool import PoolStats
 from repro.errors import ServingError
@@ -59,7 +61,7 @@ from repro.sql import ast
 from repro.sql.fingerprint import statement_fingerprint, statement_tables
 from repro.sql.parser import parse
 from repro.serving.cache import CacheStats, LRUCache, approx_size
-from repro.serving.prepared import PreparedQuery
+from repro.serving.prepared import PreparedBinding, PreparedQuery
 from repro.serving.shard import (
     LockStats,
     ShardLock,
@@ -98,6 +100,29 @@ def _result_size(entry: _CachedResult) -> int:
     return approx_size(entry.columns) + approx_size(entry.rows)
 
 
+@dataclass(frozen=True)
+class _RebindRequest:
+    """Plan-reuse context for one prepared binding.
+
+    The decision cache holds, next to the per-binding exact entries, one
+    *pinned template* per (template fingerprint, arity signature,
+    schema generation): the first binding of each signature pays a full
+    BE Checker run and pins its decision plus a
+    :class:`~repro.bounded.rebind.RebindTemplate`; every later
+    equal-signature binding patches the pinned plan's constant key parts
+    directly — zero checker runs. A binding that changes a slot's
+    IN-list arity, NULL-ness, or type class lands on a different
+    signature (or trips the rebinder's merged-arity guard) and re-checks.
+    """
+
+    template_fingerprint: str
+    signature: tuple
+    overrides: Mapping[str, tuple]
+
+    def cache_key(self, generation: int) -> tuple:
+        return ("rebind", self.template_fingerprint, self.signature, generation)
+
+
 @dataclass
 class ServingStats:
     """Aggregated serving counters (``BEASServer.stats()``)."""
@@ -114,6 +139,12 @@ class ServingStats:
     shards: dict[str, ShardStats] = field(default_factory=dict)
     schema_lock: Optional[LockStats] = None
     admission_declines: int = 0
+    # plan-rebinding counters: decisions served by patching a pinned
+    # plan's constants (no BE Checker run), guard-triggered fallbacks to
+    # a full re-check, and the underlying checker's lifetime run count
+    rebinds: int = 0
+    rebind_fallbacks: int = 0
+    checker_runs: int = 0
     # engine-pool counters (None while no pool has started): requests on
     # this server dispatch bounded work to the BEAS instance's worker
     # processes when it was built with parallelism >= 2
@@ -145,6 +176,9 @@ class ServingStats:
             f"{self.admission_declines} admissions declined",
             f"  prepared queries: {self.prepared_queries}",
             f"  executions served: {self.executions}",
+            f"  plan rebinds: {self.rebinds} served without the BE Checker "
+            f"({self.rebind_fallbacks} guard fallbacks, "
+            f"{self.checker_runs} checker runs total)",
             f"  access-schema generation: {self.schema_generation}",
             f"  lock contention: {self.contended_acquisitions} contended "
             f"acquisitions, waited {self.lock_wait_seconds * 1000:.2f} ms",
@@ -214,6 +248,8 @@ class BEASServer:
 
         self._prepared: dict[str, PreparedQuery] = {}
         self._executions = 0
+        self._rebinds = 0
+        self._rebind_fallbacks = 0
         self._schema_generation = beas.catalog.schema_generation
 
     def _new_shard(self, name: str, shard_count: int) -> TableShard:
@@ -357,13 +393,18 @@ class BEASServer:
         use_result_cache: bool = True,
         executor: Optional[str] = None,
     ) -> BEASResult:
-        """Execute a prepared query (by handle or name) for one binding."""
+        """Execute a prepared query (by handle or name) for one binding.
+
+        A binding whose arity signature matches an earlier one reuses
+        that binding's pinned plan via constraint-preserving rebinding —
+        the BE Checker runs once per signature, not once per binding.
+        """
         if isinstance(prepared, str):
             prepared = self.prepared(prepared)
-        statement, fingerprint = prepared.bind(params)
+        bound = prepared.binding(params)
         return self._execute(
-            statement,
-            fingerprint,
+            bound.statement,
+            bound.fingerprint,
             prepared.tables,
             budget=budget,
             allow_partial=allow_partial,
@@ -371,6 +412,7 @@ class BEASServer:
             use_result_cache=use_result_cache,
             parse_hit=True,  # the template parse is amortised
             executor=executor,
+            rebind=self._rebind_request(prepared, bound),
         )
 
     def check(
@@ -392,13 +434,45 @@ class BEASServer:
         *,
         budget: Optional[int] = None,
     ) -> "CoverageDecision":
+        return self.decide_prepared(prepared, params, budget=budget)[0]
+
+    def decide_prepared(
+        self,
+        prepared: Union[str, PreparedQuery],
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        budget: Optional[int] = None,
+    ) -> tuple["CoverageDecision", str]:
+        """The coverage decision for one binding plus its provenance:
+        ``"fresh"`` (full BE Checker run), ``"cached"`` (exact
+        decision-cache hit), or ``"rebound"`` (pinned plan patched for
+        this binding, no checker run)."""
         if isinstance(prepared, str):
             prepared = self.prepared(prepared)
-        statement, fingerprint = prepared.bind(params)
+        bound = prepared.binding(params)
         with self._schema_lock.read():
             generation = self._observe_schema_generation()
-            decision, _ = self._decision(statement, fingerprint, generation)
-        return self._with_budget(decision, budget)
+            decision, provenance = self._decision(
+                # lazy: a rebound or cached decision never substitutes
+                # the binding's AST at all
+                lambda: bound.statement,
+                bound.fingerprint,
+                generation,
+                rebind=self._rebind_request(prepared, bound),
+            )
+        return self._with_budget(decision, budget), provenance
+
+    @staticmethod
+    def _rebind_request(
+        prepared: PreparedQuery, bound: PreparedBinding
+    ) -> Optional[_RebindRequest]:
+        if not bound.overrides:
+            return None  # the template's own constants: exact key suffices
+        return _RebindRequest(
+            template_fingerprint=prepared.fingerprint,
+            signature=bound.signature,
+            overrides=bound.overrides,
+        )
 
     # ------------------------------------------------------------------ #
     # maintenance (per-shard write locks; disjoint tables run in parallel)
@@ -490,6 +564,16 @@ class BEASServer:
             self._beas.register(constraint, validate=validate)
         self._observe_schema_generation()
 
+    def register_all(
+        self, constraints, *, validate: bool = True
+    ) -> None:
+        """Register a batch under ONE schema write section: the checker
+        and planner are rebuilt once, and the caches flush once instead
+        of per constraint."""
+        with self._schema_lock.write():
+            self._beas.register_all(constraints, validate=validate)
+        self._observe_schema_generation()
+
     def unregister(self, constraint_name: str) -> None:
         with self._schema_lock.write():
             self._beas.unregister(constraint_name)
@@ -523,7 +607,12 @@ class BEASServer:
             executions = self._executions
             prepared_count = len(self._prepared)
             generation = self._schema_generation
+            rebinds = self._rebinds
+            rebind_fallbacks = self._rebind_fallbacks
         return ServingStats(
+            rebinds=rebinds,
+            rebind_fallbacks=rebind_fallbacks,
+            checker_runs=self._beas.checker_runs,
             parse=self._parse_cache.stats(),
             decision=self._decision_cache.stats(),
             result=result,
@@ -598,20 +687,50 @@ class BEASServer:
         return generation
 
     def _decision(
-        self, statement: ast.Statement, fingerprint: str, generation: int
-    ) -> tuple["CoverageDecision", bool]:
+        self,
+        statement,  # an ast.Statement, or a zero-arg provider of one
+        fingerprint: str,
+        generation: int,
+        rebind: Optional[_RebindRequest] = None,
+    ) -> tuple["CoverageDecision", str]:
         """The budget-free coverage decision, through the decision cache.
 
-        Keyed by (fingerprint, access-schema generation): a decision
-        pinned under an old schema can never be served after a change.
+        Returns ``(decision, provenance)`` with provenance ``"cached"``
+        (exact per-binding hit), ``"rebound"`` (pinned plan patched for
+        this binding — no BE Checker run), or ``"fresh"`` (full check).
+
+        Exact entries are keyed by (binding fingerprint, access-schema
+        generation): a decision pinned under an old schema can never be
+        served after a change. Pinned rebind templates are keyed by
+        (template fingerprint, arity signature, generation) — the values
+        of a binding never enter that key, only its shape.
         """
         key = (fingerprint, generation)
         decision = self._decision_cache.get(key)
         if decision is not None:
-            return decision, True
+            return decision, "cached"
+        if rebind is not None:
+            template_key = rebind.cache_key(generation)
+            pinned = self._decision_cache.get(template_key)
+            if isinstance(pinned, RebindTemplate):
+                rebound = pinned.rebind(rebind.overrides)
+                if rebound is not None:
+                    # future executes of this exact binding hit directly
+                    self._decision_cache.put(key, rebound)
+                    with self._admin_lock:
+                        self._rebinds += 1
+                    return rebound, "rebound"
+                with self._admin_lock:
+                    self._rebind_fallbacks += 1
+        if callable(statement):
+            statement = statement()  # only the fresh path needs the AST
         decision = self._beas.check(statement)
         self._decision_cache.put(key, decision)
-        return decision, False
+        if rebind is not None:
+            template = build_rebind_template(decision, rebind.overrides)
+            if template is not None:
+                self._decision_cache.put(rebind.cache_key(generation), template)
+        return decision, "fresh"
 
     @staticmethod
     def _with_budget(
@@ -635,7 +754,12 @@ class BEASServer:
         use_result_cache: bool,
         parse_hit: bool,
         executor: Optional[str] = None,
+        rebind: Optional[_RebindRequest] = None,
     ) -> BEASResult:
+        if executor is not None:
+            # fail on a bad per-query mode here, before any lock is taken
+            # or the bounded pipeline is entered
+            resolve_executor_mode(executor)
         with self._admin_lock:
             self._executions += 1
         hits = 1 if parse_hit else 0
@@ -667,6 +791,7 @@ class BEASServer:
                     misses=misses,
                     lock_wait=lock_wait,
                     executor=executor,
+                    rebind=rebind,
                 )
             finally:
                 release_read_ordered(shards)
@@ -689,6 +814,7 @@ class BEASServer:
         misses: int,
         lock_wait: float,
         executor: Optional[str] = None,
+        rebind: Optional[_RebindRequest] = None,
     ) -> BEASResult:
         # the consistent table-version vector this request observes: read
         # under the shard read locks, so no dependency can move under us
@@ -723,6 +849,7 @@ class BEASServer:
                     cache_misses=misses,
                     lock_wait_seconds=lock_wait,
                     table_versions=dict(versions),
+                    decision_provenance="result-cache",
                 )
                 return BEASResult(
                     columns=list(entry.columns),
@@ -735,12 +862,15 @@ class BEASServer:
                 home.invalidate(result_key)
             misses += 1
 
-        decision, decision_hit = self._decision(statement, fingerprint, generation)
+        decision, provenance = self._decision(
+            statement, fingerprint, generation, rebind=rebind
+        )
+        decision_hit = provenance != "fresh"
         hits += 1 if decision_hit else 0
         misses += 0 if decision_hit else 1
         decision = self._with_budget(decision, budget)
 
-        result = self._beas.execute_decided(
+        result = self._beas._execute_decided(
             statement,
             decision,
             budget=budget,
@@ -752,6 +882,7 @@ class BEASServer:
         result.metrics.cache_misses += misses
         result.metrics.lock_wait_seconds += lock_wait
         result.metrics.table_versions = dict(versions)
+        result.metrics.decision_provenance = provenance
 
         if use_result_cache and result.mode is not ExecutionMode.APPROXIMATE:
             admitted = home.admit(

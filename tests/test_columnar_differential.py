@@ -370,7 +370,9 @@ class TestModeWiring:
         monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
         assert resolve_executor_mode(None) == "columnar"
         assert resolve_executor_mode("row") == "row"  # explicit wins
-        from repro.errors import ExecutionError
+        from repro.errors import BEASError
 
-        with pytest.raises(ExecutionError):
+        # construction-time configuration error, like the other engine
+        # options (previously an ExecutionError deep in the executor)
+        with pytest.raises(BEASError):
             resolve_executor_mode("simd")

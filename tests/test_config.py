@@ -1,0 +1,140 @@
+"""repro.config: the one place every BEAS_* environment variable is read.
+
+Replaces the three ad-hoc ``os.environ`` parses (executor mode, batch
+size, pool parallelism) plus the fuzz-seed and pool-start-method reads;
+every malformed value must fail construction with a clear
+:class:`~repro.errors.BEASError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import EnvConfig, load_env_config
+from repro import config
+from repro.errors import BEASError
+
+
+class TestValidators:
+    def test_executor(self):
+        assert config.validate_executor("row") == "row"
+        assert config.validate_executor("columnar") == "columnar"
+        with pytest.raises(BEASError, match="executor"):
+            config.validate_executor("simd")
+
+    def test_rows_per_batch(self):
+        assert config.validate_rows_per_batch(1) == 1
+        for bad in (0, -1, True, "64", 2.5):
+            with pytest.raises(BEASError):
+                config.validate_rows_per_batch(bad)
+
+    def test_parallelism(self):
+        assert config.validate_parallelism(4) == 4
+        for bad in (0, False, "2"):
+            with pytest.raises(BEASError):
+                config.validate_parallelism(bad)
+
+    def test_dispatch(self):
+        for mode in ("auto", "plan", "batch"):
+            assert config.validate_dispatch(mode) == mode
+        with pytest.raises(BEASError, match="parallel_dispatch"):
+            config.validate_dispatch("scatter")
+
+
+class TestEnvironmentReaders:
+    def test_unset_is_none(self, monkeypatch):
+        for name in (
+            "BEAS_EXECUTOR",
+            "BEAS_ROWS_PER_BATCH",
+            "BEAS_PARALLELISM",
+            "BEAS_POOL_START_METHOD",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert config.env_executor() is None
+        assert config.env_rows_per_batch() is None
+        assert config.env_parallelism() is None
+        assert config.env_pool_start_method() is None
+
+    def test_values_round_trip(self, monkeypatch):
+        monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
+        monkeypatch.setenv("BEAS_ROWS_PER_BATCH", "512")
+        monkeypatch.setenv("BEAS_PARALLELISM", "3")
+        assert config.env_executor() == "columnar"
+        assert config.env_rows_per_batch() == 512
+        assert config.env_parallelism() == 3
+
+    @pytest.mark.parametrize(
+        "name, value, match",
+        [
+            ("BEAS_EXECUTOR", "simd", "BEAS_EXECUTOR"),
+            ("BEAS_ROWS_PER_BATCH", "lots", "integer"),
+            ("BEAS_ROWS_PER_BATCH", "0", ">= 1"),
+            ("BEAS_PARALLELISM", "two", "integer"),
+            ("BEAS_PARALLELISM", "-1", ">= 1"),
+            ("BEAS_POOL_START_METHOD", "teleport", "BEAS_POOL_START_METHOD"),
+            ("BEAS_FUZZ_SEEDS", "many", "integer"),
+            ("BEAS_FUZZ_SEEDS", "0", ">= 1"),
+        ],
+    )
+    def test_malformed_values_raise_at_construction(
+        self, monkeypatch, name, value, match
+    ):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(BEASError, match=match):
+            load_env_config()
+
+    def test_fuzz_seeds_default(self, monkeypatch):
+        monkeypatch.delenv("BEAS_FUZZ_SEEDS", raising=False)
+        assert config.env_fuzz_seeds(8) == 8
+        monkeypatch.setenv("BEAS_FUZZ_SEEDS", "30")
+        assert config.env_fuzz_seeds(8) == 30
+
+    def test_pool_start_method_accepts_available(self, monkeypatch):
+        method = multiprocessing.get_all_start_methods()[0]
+        monkeypatch.setenv("BEAS_POOL_START_METHOD", method)
+        assert config.env_pool_start_method() == method
+
+
+class TestEnvConfig:
+    def test_load_snapshot(self, monkeypatch):
+        monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
+        monkeypatch.setenv("BEAS_PARALLELISM", "2")
+        monkeypatch.delenv("BEAS_ROWS_PER_BATCH", raising=False)
+        monkeypatch.delenv("BEAS_POOL_START_METHOD", raising=False)
+        monkeypatch.delenv("BEAS_FUZZ_SEEDS", raising=False)
+        snapshot = load_env_config()
+        assert snapshot == EnvConfig(
+            executor="columnar", parallelism=2, fuzz_seeds=8
+        )
+        text = snapshot.describe()
+        assert "BEAS_EXECUTOR=columnar" in text
+        assert "BEAS_ROWS_PER_BATCH=(unset)" in text
+
+    def test_engine_resolvers_delegate(self, monkeypatch):
+        """The historical resolver entry points must honour the central
+        validation (BEASError, not ad-hoc messages)."""
+        from repro.engine.columnar import (
+            resolve_executor_mode,
+            resolve_rows_per_batch,
+        )
+        from repro.engine.pool import resolve_parallelism
+
+        monkeypatch.setenv("BEAS_EXECUTOR", "warp")
+        with pytest.raises(BEASError):
+            resolve_executor_mode(None)
+        monkeypatch.setenv("BEAS_ROWS_PER_BATCH", "nan")
+        with pytest.raises(BEASError):
+            resolve_rows_per_batch(None)
+        monkeypatch.setenv("BEAS_PARALLELISM", "-2")
+        with pytest.raises(BEASError):
+            resolve_parallelism(None)
+
+    def test_beas_construction_reads_the_environment(self, monkeypatch):
+        from repro import BEAS
+        from tests.conftest import example1_database
+
+        monkeypatch.setenv("BEAS_ROWS_PER_BATCH", "nope")
+        with pytest.raises(BEASError, match="BEAS_ROWS_PER_BATCH"):
+            BEAS(example1_database())

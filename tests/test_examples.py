@@ -4,6 +4,7 @@ Run as subprocesses so each example is exercised exactly as a user would
 run it (fresh interpreter, its own imports, printing to stdout).
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,12 +14,26 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+def run_example(
+    name: str, *args: str, strict_warnings: bool = True
+) -> subprocess.CompletedProcess:
+    """Run one example in a fresh interpreter.
+
+    With ``strict_warnings`` (the default) the subprocess turns every
+    DeprecationWarning into an error, so a migrated example that slips
+    back onto a deprecated entry point fails here — pytest's own ``-W``
+    flags cannot reach these child interpreters. The deliberate
+    legacy-shim example opts out.
+    """
+    env = dict(os.environ)
+    if strict_warnings:
+        env["PYTHONWARNINGS"] = "error::DeprecationWarning"
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
 
 
@@ -55,9 +70,18 @@ class TestExamples:
         assert "strict mode refuses" in proc.stdout
         assert "guaranteed recall" in proc.stdout
 
-    def test_prepared_serving(self):
-        proc = run_example("prepared_serving.py")
+    def test_session_lifecycle(self):
+        proc = run_example("session_lifecycle.py")
         assert proc.returncode == 0, proc.stderr
+        assert "checker runs for 4 new bindings: 1" in proc.stdout
+        assert "decision=rebound" in proc.stdout
+        assert "plan rebinds" in proc.stdout
+
+    def test_prepared_serving(self):
+        """The deliberate legacy-shim example: still works, and warns."""
+        proc = run_example("prepared_serving.py", strict_warnings=False)
+        assert proc.returncode == 0, proc.stderr
+        assert "BEASDeprecationWarning" in proc.stderr
         assert "served_from_cache=True" in proc.stdout
         assert "packages-of-100 retained (cache hit: True)" in proc.stdout
         assert "serving stats:" in proc.stdout

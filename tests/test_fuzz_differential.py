@@ -34,6 +34,7 @@ from collections import Counter
 import pytest
 
 from repro import BEAS, Database
+from repro.config import env_fuzz_seeds
 from repro.beas.result import ExecutionMode
 from repro.errors import MaintenanceError
 from repro.workloads.tlc import tlc_access_schema
@@ -379,7 +380,7 @@ def test_scenario_floor():
 # concurrent interleavings: maintenance + prepared executes across threads
 # --------------------------------------------------------------------------- #
 # The CI concurrency job raises the seed count via BEAS_FUZZ_SEEDS.
-CONCURRENT_SEEDS = max(1, int(os.environ.get("BEAS_FUZZ_SEEDS", "8")))
+CONCURRENT_SEEDS = env_fuzz_seeds(8)  # validated centrally (repro.config)
 CONCURRENT_WRITER_TABLES = ("call", "package", "business")  # >= 3 tables
 CONCURRENT_WRITE_ROUNDS = 6
 CONCURRENT_READERS = 3
@@ -569,7 +570,7 @@ def test_concurrent_scenario_floor():
     default seed count (each parametrized run above asserts its exact
     share, so this arithmetic reflects what actually executed)."""
     configured = (
-        int(os.environ.get("BEAS_FUZZ_SEEDS", "8"))
+        env_fuzz_seeds(8)
         * CONCURRENT_READERS
         * CONCURRENT_READS
     )

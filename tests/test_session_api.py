@@ -1,0 +1,405 @@
+"""The unified Session/Query/Decision/Result lifecycle (repro.beas.session).
+
+Covers the redesigned public API: construction, the query lifecycle,
+the single options-precedence chain (call > Query > Session >
+EngineProfile > environment), engine-pinned option guards, result
+shapes, deprecation shims, and the construction-time validation
+satellites (executor strings, failed pool spawns).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import (
+    BEAS,
+    AccessConstraint,
+    ExecutionMode,
+    ExecutionOptions,
+    Session,
+)
+from repro.beas import system as beas_system
+from repro.engine.profiles import EngineProfile
+from repro.errors import (
+    BEASDeprecationWarning,
+    BEASError,
+    BudgetExceededError,
+)
+
+from tests.conftest import (
+    EXAMPLE2_SQL,
+    example1_access_schema,
+    example1_database,
+)
+
+CALL_SQL = (
+    "SELECT recnum, region FROM call "
+    "WHERE pnum = '100' AND date = '2016-06-01'"
+)
+
+
+@pytest.fixture
+def session():
+    with Session(example1_database(), example1_access_schema()) as s:
+        yield s
+
+
+# --------------------------------------------------------------------------- #
+# construction
+# --------------------------------------------------------------------------- #
+class TestConstruction:
+    def test_database_xor_beas(self):
+        db = example1_database()
+        with pytest.raises(BEASError, match="exactly one"):
+            Session()
+        with pytest.raises(BEASError, match="exactly one"):
+            Session(db, beas=BEAS(db))
+
+    def test_adopting_an_engine(self):
+        engine = BEAS(example1_database(), example1_access_schema())
+        with Session(beas=engine) as s:
+            assert s.beas is engine
+            assert len(s.query(CALL_SQL).run()) == 2
+        # adopted engines are not closed by the session
+        assert engine.execute is not None
+
+    def test_beas_session_helper(self):
+        engine = BEAS(example1_database(), example1_access_schema())
+        s = engine.session()
+        assert s.beas is engine
+        assert s.query(CALL_SQL).run().mode is ExecutionMode.BOUNDED
+
+    def test_adopted_engine_schema_conflict(self):
+        engine = BEAS(example1_database())
+        with pytest.raises(BEASError, match="access_schema"):
+            Session(beas=engine, access_schema=example1_access_schema())
+
+    def test_server_options_forwarded_once(self):
+        with Session(
+            example1_database(),
+            example1_access_schema(),
+            server_options={"sharded": False},
+        ) as s:
+            assert s.server.sharded is False
+            assert s.server is s.server  # memoised
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle
+# --------------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_query_decide_run(self, session):
+        q = session.query(EXAMPLE2_SQL)
+        decision = q.decide()
+        assert decision.verdict == "bounded"
+        assert decision.covered and decision.provenance == "fresh"
+        assert decision.access_bound == 12026000
+        result = decision.run()
+        assert sorted(result.rows) == [("east",), ("north",), ("south",)]
+        assert result.schema == ("region",)
+        assert result.mode is ExecutionMode.BOUNDED
+        assert len(result) == 3 and set(result) == result.to_set()
+
+    def test_bind_returns_new_handle(self, session):
+        q = session.query(CALL_SQL)
+        bound = q.bind(date="2016-06-02")
+        assert bound is not q and q.params == {}
+        assert bound.params == {"date": "2016-06-02"}
+        assert sorted(bound.run().rows) == [("555", "west")]
+        # merging: later binds layer over earlier ones
+        double = bound.bind(pnum="101")
+        assert double.params == {"date": "2016-06-02", "pnum": "101"}
+        assert double.run().rows == []
+        assert bound.unbound().params == {}
+
+    def test_decision_reuse_skips_checker(self, session):
+        q = session.query(CALL_SQL)
+        decision = q.decide()
+        runs = session.beas.checker_runs
+        for _ in range(3):
+            assert len(decision.run()) == 2
+        assert session.beas.checker_runs == runs
+
+    def test_detached_decision_cannot_run(self, session):
+        from repro.beas.session import Decision
+
+        decision = session.query(CALL_SQL).decide()
+        detached = Decision(decision.coverage, "fresh", 0, None)
+        with pytest.raises(BEASError, match="not attached"):
+            detached.run()
+
+    def test_session_run_one_shot(self, session):
+        result = session.run(CALL_SQL)
+        assert len(result.rows) == 2
+        assert result.decision.provenance in ("fresh", "cached")
+
+    def test_explain(self, session):
+        text = session.explain(EXAMPLE2_SQL)
+        assert "fetch[" in text
+        uncovered = session.query("SELECT type FROM business")
+        assert "NOT covered" in uncovered.decide().describe()
+
+    def test_not_covered_falls_back(self, session):
+        result = session.query("SELECT type FROM business").run()
+        assert result.mode in (ExecutionMode.PARTIAL, ExecutionMode.CONVENTIONAL)
+        assert result.decision.verdict == "not-covered"
+        assert len(result.rows) == 4
+
+    def test_budget_round_trip(self, session):
+        q = session.query(EXAMPLE2_SQL)
+        decision = q.decide(budget=5000)
+        assert decision.within_budget is False
+        with pytest.raises(BudgetExceededError):
+            q.run(budget=5000)
+        approx = q.run(budget=5000, approximate_over_budget=True)
+        assert approx.mode is ExecutionMode.APPROXIMATE
+        assert approx.approximation is not None
+
+    def test_decision_run_keeps_its_budget(self, session):
+        """An over-budget verdict must never silently execute
+        unbounded: run() defaults to the budget decide() evaluated."""
+        decision = session.query(EXAMPLE2_SQL).decide(budget=5000)
+        assert decision.within_budget is False
+        with pytest.raises(BudgetExceededError):
+            decision.run()
+        approx = decision.run(approximate_over_budget=True)
+        assert approx.mode is ExecutionMode.APPROXIMATE
+        # an explicit call-level budget still wins
+        relaxed = decision.run(budget=20_000_000)
+        assert relaxed.mode is ExecutionMode.BOUNDED
+
+    def test_maintenance_invalidates(self, session):
+        q = session.query(CALL_SQL)
+        assert len(q.run()) == 2
+        session.insert("call", [(99, "100", "999", "2016-06-01", "bay")])
+        refreshed = q.run()
+        assert ("999", "bay") in refreshed.rows
+
+    def test_register_through_session(self, session):
+        session.register(
+            AccessConstraint("call", ["region"], ["pnum"], 100, name="psiR")
+        )
+        d = session.query(
+            "SELECT pnum FROM call WHERE region = 'north'"
+        ).decide()
+        assert d.covered and d.access_bound == 100
+        session.unregister("psiR")
+
+    def test_stats_exposes_rebind_counters(self, session):
+        q = session.query(CALL_SQL)
+        q.bind(date="2016-06-02").run()
+        q.bind(date="2016-06-03").run()
+        stats = session.stats()
+        assert stats.rebinds >= 1
+        assert stats.checker_runs == session.beas.checker_runs
+        assert "plan rebinds" in stats.describe()
+
+    def test_serve_async_front_end(self, session):
+        import asyncio
+
+        async def go():
+            async with session.serve_async(max_workers=2) as aserver:
+                result = await aserver.execute(CALL_SQL)
+                decision, provenance = await aserver.decide_prepared(
+                    session.query(CALL_SQL)._prepared, {"date": "2016-06-02"}
+                )
+                return result, decision, provenance
+
+        result, decision, provenance = asyncio.run(go())
+        assert len(result.rows) == 2
+        assert decision.covered and provenance in ("fresh", "cached", "rebound")
+
+
+# --------------------------------------------------------------------------- #
+# the options chain
+# --------------------------------------------------------------------------- #
+class TestOptionsChain:
+    def test_validation_at_construction(self):
+        with pytest.raises(BEASError):
+            ExecutionOptions(executor="simd")
+        with pytest.raises(BEASError):
+            ExecutionOptions(rows_per_batch=0)
+        with pytest.raises(BEASError):
+            ExecutionOptions(parallelism=-1)
+        with pytest.raises(BEASError):
+            ExecutionOptions(parallel_dispatch="scatter")
+        with pytest.raises(BEASError):
+            ExecutionOptions(budget=-5)
+        with pytest.raises(BEASError):
+            ExecutionOptions(allow_partial="yes")
+
+    def test_defaults_are_concrete(self):
+        d = ExecutionOptions.defaults()
+        assert d.executor == "row" and d.parallelism == 1
+        assert d.use_result_cache is True and d.allow_partial is True
+
+    def test_env_layer(self, monkeypatch):
+        monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
+        monkeypatch.setenv("BEAS_ROWS_PER_BATCH", "512")
+        env = ExecutionOptions.from_environment()
+        assert env.executor == "columnar" and env.rows_per_batch == 512
+
+    def test_profile_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("BEAS_ROWS_PER_BATCH", "512")
+        profile = EngineProfile(name="custom", rows_per_batch=256)
+        with Session(
+            example1_database(), example1_access_schema(), profile=profile
+        ) as s:
+            assert s.options.rows_per_batch == 256
+
+    def test_session_beats_profile(self, monkeypatch):
+        monkeypatch.setenv("BEAS_ROWS_PER_BATCH", "512")
+        profile = EngineProfile(name="custom", rows_per_batch=256)
+        with Session(
+            example1_database(),
+            example1_access_schema(),
+            profile=profile,
+            options=ExecutionOptions(rows_per_batch=128),
+        ) as s:
+            assert s.options.rows_per_batch == 128
+            assert s.beas._rows_per_batch == 128
+
+    def test_environment_is_the_last_layer(self, monkeypatch):
+        monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
+        with Session(example1_database(), example1_access_schema()) as s:
+            assert s.options.executor == "columnar"
+            result = s.query(CALL_SQL).run(use_result_cache=False)
+            assert result.metrics.rows_per_batch > 0  # columnar ran
+
+    def test_call_beats_query_beats_session(self, session):
+        q = session.query(CALL_SQL).with_options(executor="columnar")
+        r = q.run(use_result_cache=False)
+        assert r.options.executor == "columnar"
+        assert r.metrics.rows_per_batch > 0
+        r = q.run(executor="row", use_result_cache=False)
+        assert r.options.executor == "row"
+        if session.options.parallelism < 2:
+            # pooled execution always runs the columnar wire pipeline,
+            # so the batch counter only goes quiet in-process
+            assert r.metrics.rows_per_batch == 0
+
+    def test_engine_pinned_options_cannot_drift(self, session):
+        q = session.query(CALL_SQL)
+        with pytest.raises(BEASError, match="cannot be overridden"):
+            q.with_options(rows_per_batch=64).run()
+        with pytest.raises(BEASError, match="cannot be overridden"):
+            q.run(parallelism=3)
+        # restating the pinned value is fine
+        assert q.run(parallelism=session.options.parallelism) is not None
+
+    def test_adopted_engine_conflict_raises(self):
+        engine = BEAS(example1_database(), rows_per_batch=64)
+        with pytest.raises(BEASError, match="conflicts with the adopted"):
+            Session(beas=engine, options=ExecutionOptions(rows_per_batch=128))
+
+    def test_options_merge_and_describe(self):
+        a = ExecutionOptions(executor="columnar")
+        b = ExecutionOptions(budget=10, executor="row")
+        merged = a.over(b)
+        assert merged.executor == "columnar" and merged.budget == 10
+        assert "executor='columnar'" in a.describe()
+        assert a.replace(budget=7).budget == 7
+
+
+# --------------------------------------------------------------------------- #
+# deprecation shims
+# --------------------------------------------------------------------------- #
+class TestDeprecationShims:
+    def test_old_entry_points_warn_and_delegate(self):
+        beas = BEAS(example1_database(), example1_access_schema())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = beas.execute(CALL_SQL)
+            server = beas.serve()
+            prepared = beas.prepare(CALL_SQL)
+            decided = beas.execute_decided(CALL_SQL, beas.check(CALL_SQL))
+        assert len(result.rows) == 2 and len(decided.rows) == 2
+        assert server.prepared(prepared.name) is prepared
+        names = {w.category for w in caught}
+        assert names == {BEASDeprecationWarning}
+        assert len(caught) >= 4
+
+    def test_session_path_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Session(example1_database(), example1_access_schema()) as s:
+                q = s.query(CALL_SQL)
+                q.decide().run()
+                q.bind(date="2016-06-02").run()
+                s.insert("call", [(98, "100", "998", "2016-06-01", "cove")])
+                q.run()
+                s.stats()
+
+    def test_shims_share_the_session_server(self):
+        """Old and new paths must drive one serving backend (caches are
+        shared during migration)."""
+        with Session(example1_database(), example1_access_schema()) as s:
+            backend = s.server
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                assert s.beas.serve() is backend
+
+
+# --------------------------------------------------------------------------- #
+# construction-time validation satellites
+# --------------------------------------------------------------------------- #
+class TestValidationSatellites:
+    def test_bad_executor_fails_beas_construction(self):
+        with pytest.raises(BEASError, match="executor"):
+            BEAS(example1_database(), executor="simd")
+
+    def test_bad_executor_fails_session_construction(self):
+        with pytest.raises(BEASError, match="executor"):
+            Session(
+                example1_database(),
+                options=ExecutionOptions(executor="vectorised"),
+            )
+
+    def test_per_query_executor_validated_before_execution(self, session):
+        q = session.query(CALL_SQL)
+        with pytest.raises(BEASError, match="executor"):
+            q.run(executor="simd")
+        # the serving layer rejects it before any lock/execution too
+        with pytest.raises(BEASError, match="executor"):
+            session.server.execute(CALL_SQL, executor="simd")
+        executions = session.server.stats().executions
+        assert executions == 0  # nothing was admitted past validation
+
+    def test_close_idempotent_after_failed_pool_spawn(self, monkeypatch):
+        """A failed lazy pool spawn must fall back in-process and leave
+        close()/__exit__ idempotent (no raise, callable repeatedly)."""
+
+        class ExplodingPool:
+            def __init__(self, *a, **k):
+                raise OSError("fork refused")
+
+        monkeypatch.setattr(beas_system, "EnginePool", ExplodingPool)
+        with BEAS(
+            example1_database(), example1_access_schema(), parallelism=2
+        ) as beas:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                result = beas.execute(CALL_SQL)  # in-process fallback
+            assert len(result.rows) == 2
+            assert beas.pool is None
+            beas.close()
+            beas.close()  # idempotent
+        # __exit__ ran close() a third time without raising
+
+    def test_spawn_failure_is_not_retried_per_query(self, monkeypatch):
+        attempts = []
+
+        class ExplodingPool:
+            def __init__(self, *a, **k):
+                attempts.append(1)
+                raise OSError("fork refused")
+
+        monkeypatch.setattr(beas_system, "EnginePool", ExplodingPool)
+        beas = BEAS(example1_database(), example1_access_schema(), parallelism=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for _ in range(3):
+                beas.execute(CALL_SQL)
+        assert len(attempts) == 1
