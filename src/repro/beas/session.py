@@ -93,10 +93,13 @@ class ExecutionOptions:
     allow_partial: Optional[bool] = None
     approximate_over_budget: Optional[bool] = None
     use_result_cache: Optional[bool] = None
+    result_reuse: Optional[str] = None  # "exact" | "subsume"
 
     def __post_init__(self) -> None:
         if self.executor is not None:
             config.validate_executor(self.executor)
+        if self.result_reuse is not None:
+            config.validate_result_reuse(self.result_reuse)
         if self.rows_per_batch is not None:
             config.validate_rows_per_batch(self.rows_per_batch)
         if self.parallelism is not None:
@@ -158,6 +161,7 @@ class ExecutionOptions:
             executor=config.env_executor(),
             rows_per_batch=config.env_rows_per_batch(),
             parallelism=config.env_parallelism(),
+            result_reuse=config.env_result_reuse(),
         )
 
     @staticmethod
@@ -172,6 +176,7 @@ class ExecutionOptions:
             allow_partial=True,
             approximate_over_budget=False,
             use_result_cache=True,
+            result_reuse="exact",
         )
 
     def describe(self) -> str:
@@ -261,7 +266,9 @@ class Decision:
     pinned plan patched for this binding's constants without any
     checker run (constraint-preserving rebinding,
     :mod:`repro.bounded.rebind`); ``"result-cache"`` — the rows came
-    straight from the result cache.
+    straight from the result cache; ``"subsumed"`` — the rows were
+    re-filtered from a cached bounded superset
+    (:mod:`repro.bounded.subsume`, ``result_reuse="subsume"``).
     """
 
     coverage: CoverageDecision
@@ -495,6 +502,7 @@ class Query:
             approximate_over_budget=resolved.approximate_over_budget,
             use_result_cache=resolved.use_result_cache,
             executor=resolved.executor,
+            result_reuse=resolved.result_reuse,
         )
         return self._session._wrap(raw, self, resolved)
 
@@ -560,9 +568,14 @@ class Session:
                 parallel_dispatch=beas._parallel_dispatch,
             )
             self._check_engine_consistency(options, base)
+            # the engine's pinned knobs are all set in `base`, so the
+            # environment layer only fills engine-independent fields
+            # (e.g. BEAS_RESULT_REUSE) before the built-in defaults
             self._resolved_options = (
                 options.over(base) if options is not None else base
-            ).over(ExecutionOptions.defaults())
+            ).over(ExecutionOptions.from_environment()).over(
+                ExecutionOptions.defaults()
+            )
         else:
             resolved = self._chain(options, profile)
             self._resolved_options = resolved
@@ -679,6 +692,7 @@ class Session:
             approximate_over_budget=resolved.approximate_over_budget,
             use_result_cache=resolved.use_result_cache,
             executor=resolved.executor,
+            result_reuse=resolved.result_reuse,
         )
         return self._wrap(raw, None, resolved)
 

@@ -18,6 +18,7 @@ The variables, and where they sit in the option-precedence chain
 ``BEAS_ROWS_PER_BATCH``      columnar batch size (positive int)
 ``BEAS_PARALLELISM``         engine-pool worker processes (positive int)
 ``BEAS_POOL_START_METHOD``   multiprocessing start method for the pool
+``BEAS_RESULT_REUSE``        result-cache matching: ``exact`` | ``subsume``
 ``BEAS_FUZZ_SEEDS``          seed count for the differential fuzz suites
 ===========================  ==============================================
 """
@@ -35,6 +36,7 @@ ENV_EXECUTOR = "BEAS_EXECUTOR"
 ENV_ROWS_PER_BATCH = "BEAS_ROWS_PER_BATCH"
 ENV_PARALLELISM = "BEAS_PARALLELISM"
 ENV_POOL_START_METHOD = "BEAS_POOL_START_METHOD"
+ENV_RESULT_REUSE = "BEAS_RESULT_REUSE"
 ENV_FUZZ_SEEDS = "BEAS_FUZZ_SEEDS"
 
 #: Bounded-pipeline execution modes.
@@ -42,6 +44,12 @@ EXECUTOR_MODES = ("row", "columnar")
 
 #: Engine-pool dispatch strategies.
 DISPATCH_MODES = ("auto", "plan", "batch")
+
+#: Result-cache matching modes: ``exact`` serves only
+#: presentation-equal fingerprints; ``subsume`` additionally answers a
+#: query from a cached bounded superset by re-filtering its rows
+#: (:mod:`repro.bounded.subsume`).
+RESULT_REUSE_MODES = ("exact", "subsume")
 
 #: Default number of rows per processing batch in columnar mode.
 DEFAULT_ROWS_PER_BATCH = 4096
@@ -82,6 +90,15 @@ def validate_dispatch(mode: str, *, source: str = "parallel_dispatch") -> str:
         raise BEASError(
             f"unknown {source} {mode!r} (expected one of "
             f"{', '.join(DISPATCH_MODES)})"
+        )
+    return mode
+
+
+def validate_result_reuse(mode: str, *, source: str = "result_reuse") -> str:
+    if mode not in RESULT_REUSE_MODES:
+        raise BEASError(
+            f"unknown {source} {mode!r} (expected "
+            f"{' or '.join(repr(m) for m in RESULT_REUSE_MODES)})"
         )
     return mode
 
@@ -133,6 +150,13 @@ def env_pool_start_method() -> Optional[str]:
     return raw
 
 
+def env_result_reuse() -> Optional[str]:
+    raw = os.environ.get(ENV_RESULT_REUSE)
+    if not raw:
+        return None
+    return validate_result_reuse(raw, source=ENV_RESULT_REUSE)
+
+
 def env_fuzz_seeds(default: int = 8) -> int:
     value = _env_int(ENV_FUZZ_SEEDS)
     if value is None:
@@ -157,6 +181,7 @@ class EnvConfig:
     rows_per_batch: Optional[int] = None
     parallelism: Optional[int] = None
     pool_start_method: Optional[str] = None
+    result_reuse: Optional[str] = None
     fuzz_seeds: int = 8
 
     def describe(self) -> str:
@@ -165,6 +190,7 @@ class EnvConfig:
             (ENV_ROWS_PER_BATCH, self.rows_per_batch),
             (ENV_PARALLELISM, self.parallelism),
             (ENV_POOL_START_METHOD, self.pool_start_method),
+            (ENV_RESULT_REUSE, self.result_reuse),
             (ENV_FUZZ_SEEDS, self.fuzz_seeds),
         ]
         return "\n".join(
@@ -180,5 +206,6 @@ def load_env_config(*, fuzz_default: int = 8) -> EnvConfig:
         rows_per_batch=env_rows_per_batch(),
         parallelism=env_parallelism(),
         pool_start_method=env_pool_start_method(),
+        result_reuse=env_result_reuse(),
         fuzz_seeds=env_fuzz_seeds(fuzz_default),
     )

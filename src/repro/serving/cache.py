@@ -128,6 +128,17 @@ class LRUCache:
         self.stats.hits += 1
         return entry.value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Read a value without touching recency order or counters.
+
+        The subsumption prober uses this to inspect candidate entries:
+        a probe is speculative, so it must neither promote a candidate
+        in LRU order nor distort the hit/miss accounting the exact
+        lookup path reports.
+        """
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
     def put(self, key: Hashable, value: Any) -> bool:
         """Insert/replace; returns False when the value exceeds the budget."""
         size = self._sizeof(value) if self.max_bytes is not None else 0

@@ -208,11 +208,14 @@ class PreparedQuery:
         approximate_over_budget: bool = False,
         use_result_cache: bool = True,
         executor: Optional[str] = None,
+        result_reuse: str = "exact",
     ) -> "BEASResult":
         """Execute one binding through the serving caches.
 
         ``executor`` overrides the bounded execution mode
-        ("row"/"columnar") for this call only.
+        ("row"/"columnar") for this call only; ``result_reuse="subsume"``
+        additionally lets a cached bounded superset binding answer this
+        one by re-filtering its rows.
         """
         return self._server.execute_prepared(
             self,
@@ -222,6 +225,7 @@ class PreparedQuery:
             approximate_over_budget=approximate_over_budget,
             use_result_cache=use_result_cache,
             executor=executor,
+            result_reuse=result_reuse,
         )
 
     __call__ = execute

@@ -53,6 +53,15 @@ from typing import TYPE_CHECKING, Any, Hashable, Mapping, Optional, Union
 
 from repro.beas.result import BEASResult, ExecutionMode
 from repro.bounded.rebind import RebindTemplate, build_rebind_template
+from repro.bounded.subsume import (
+    Candidate,
+    QuerySummary,
+    SubsumptionIndex,
+    apply_refilter,
+    subsumes,
+    summarize_statement,
+)
+from repro.config import validate_result_reuse
 from repro.engine.columnar import resolve_executor_mode
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.pool import PoolStats
@@ -86,7 +95,15 @@ GLOBAL_SHARD = "__global__"
 
 @dataclass
 class _CachedResult:
-    """One result-cache entry plus the generations it depends on."""
+    """One result-cache entry plus the generations it depends on.
+
+    ``summary`` is the entry's predicate-lattice summary, present only
+    when the server runs with ``result_reuse="subsume"`` and the entry
+    is an eligible subsumption source (BOUNDED mode, reusable shape);
+    ``template_fingerprint`` records the pinned rebind template the
+    answer derived from, so a merged-arity fallback can drop candidates
+    with stale plan provenance.
+    """
 
     columns: list[str]
     rows: list[tuple]
@@ -94,6 +111,8 @@ class _CachedResult:
     decision: "CoverageDecision"
     table_versions: dict[str, int]
     schema_generation: int
+    summary: Optional[QuerySummary] = None
+    template_fingerprint: Optional[str] = None
 
 
 def _result_size(entry: _CachedResult) -> int:
@@ -145,6 +164,13 @@ class ServingStats:
     rebinds: int = 0
     rebind_fallbacks: int = 0
     checker_runs: int = 0
+    # subsumption counters (result_reuse="subsume"): queries answered by
+    # re-filtering a cached bounded superset, probes that found no sound
+    # source, and candidates dropped for stale plan provenance (rebind
+    # fallbacks abandoning the pinned plan they derived from)
+    subsumed_hits: int = 0
+    subsumption_rejects: int = 0
+    subsumption_invalidations: int = 0
     # engine-pool counters (None while no pool has started): requests on
     # this server dispatch bounded work to the BEAS instance's worker
     # processes when it was built with parallelism >= 2
@@ -179,6 +205,9 @@ class ServingStats:
             f"  plan rebinds: {self.rebinds} served without the BE Checker "
             f"({self.rebind_fallbacks} guard fallbacks, "
             f"{self.checker_runs} checker runs total)",
+            f"  subsumption: {self.subsumed_hits} subsumed hits, "
+            f"{self.subsumption_rejects} rejects, "
+            f"{self.subsumption_invalidations} candidates invalidated",
             f"  access-schema generation: {self.schema_generation}",
             f"  lock contention: {self.contended_acquisitions} contended "
             f"acquisitions, waited {self.lock_wait_seconds * 1000:.2f} ms",
@@ -229,6 +258,12 @@ class BEASServer:
         self._decision_cache = StripedCache(
             "decision", max_entries=decision_cache_entries, stripes=stripes
         )
+        # predicate-lattice summaries, keyed by fingerprint — pure
+        # functions of the statement, so never flushed for freshness
+        self._summary_cache = StripedCache(
+            "summary", max_entries=parse_cache_entries, stripes=min(4, stripes)
+        )
+        self._subsume_index = SubsumptionIndex()
 
         self._result_entries_budget = result_cache_entries
         self._result_bytes_budget = result_cache_bytes
@@ -250,6 +285,9 @@ class BEASServer:
         self._executions = 0
         self._rebinds = 0
         self._rebind_fallbacks = 0
+        self._subsumed_hits = 0
+        self._subsumption_rejects = 0
+        self._subsumption_invalidations = 0
         self._schema_generation = beas.catalog.schema_generation
 
     def _new_shard(self, name: str, shard_count: int) -> TableShard:
@@ -362,12 +400,17 @@ class BEASServer:
         approximate_over_budget: bool = False,
         use_result_cache: bool = True,
         executor: Optional[str] = None,
+        result_reuse: str = "exact",
     ) -> BEASResult:
         """One-shot execution through the serving caches (no prepare).
 
         ``executor`` selects the bounded execution mode ("row" or
         "columnar") for this query only; answers are mode-independent,
-        so cached results are shared across modes.
+        so cached results are shared across modes. ``result_reuse``
+        selects the cache-matching policy: ``"exact"`` serves only
+        presentation-equal fingerprints; ``"subsume"`` additionally
+        answers from a cached bounded superset by re-filtering its rows
+        (:mod:`repro.bounded.subsume`).
         """
         statement, fingerprint, tables, parse_hit = self._frontend(query)
         return self._execute(
@@ -380,6 +423,7 @@ class BEASServer:
             use_result_cache=use_result_cache,
             parse_hit=parse_hit,
             executor=executor,
+            result_reuse=result_reuse,
         )
 
     def execute_prepared(
@@ -392,12 +436,16 @@ class BEASServer:
         approximate_over_budget: bool = False,
         use_result_cache: bool = True,
         executor: Optional[str] = None,
+        result_reuse: str = "exact",
     ) -> BEASResult:
         """Execute a prepared query (by handle or name) for one binding.
 
         A binding whose arity signature matches an earlier one reuses
         that binding's pinned plan via constraint-preserving rebinding —
         the BE Checker runs once per signature, not once per binding.
+        With ``result_reuse="subsume"``, a binding whose predicate
+        region is contained in an earlier cached binding's is answered
+        by re-filtering that binding's rows — no execution at all.
         """
         if isinstance(prepared, str):
             prepared = self.prepared(prepared)
@@ -413,6 +461,7 @@ class BEASServer:
             parse_hit=True,  # the template parse is amortised
             executor=executor,
             rebind=self._rebind_request(prepared, bound),
+            result_reuse=result_reuse,
         )
 
     def check(
@@ -609,9 +658,15 @@ class BEASServer:
             generation = self._schema_generation
             rebinds = self._rebinds
             rebind_fallbacks = self._rebind_fallbacks
+            subsumed_hits = self._subsumed_hits
+            subsumption_rejects = self._subsumption_rejects
+            subsumption_invalidations = self._subsumption_invalidations
         return ServingStats(
             rebinds=rebinds,
             rebind_fallbacks=rebind_fallbacks,
+            subsumed_hits=subsumed_hits,
+            subsumption_rejects=subsumption_rejects,
+            subsumption_invalidations=subsumption_invalidations,
             checker_runs=self._beas.checker_runs,
             parse=self._parse_cache.stats(),
             decision=self._decision_cache.stats(),
@@ -632,6 +687,8 @@ class BEASServer:
         """Drop all cached state (keeps prepared handles)."""
         self._parse_cache.invalidate_all()
         self._decision_cache.invalidate_all()
+        self._summary_cache.invalidate_all()
+        self._subsume_index.clear()
         for shard in self.shards().values():
             shard.flush()
         with self._dep_lock:
@@ -680,6 +737,10 @@ class BEASServer:
         # result entries record their generation, so flushing here is a
         # memory measure, not a correctness one
         self._decision_cache.invalidate_all()
+        # candidates are generation-stamped (the prober would skip them
+        # anyway); clearing here keeps the index from holding references
+        # to flushed entries across a bump
+        self._subsume_index.clear()
         for shard in shards.values():
             shard.flush()
         with self._dep_lock:
@@ -722,6 +783,15 @@ class BEASServer:
                     return rebound, "rebound"
                 with self._admin_lock:
                     self._rebind_fallbacks += 1
+                # the pinned plan is being abandoned (merged-arity or
+                # other guard): any subsumption candidate derived from
+                # it carries stale plan provenance — stop offering them
+                dropped = self._subsume_index.drop_template(
+                    rebind.template_fingerprint
+                )
+                if dropped:
+                    with self._admin_lock:
+                        self._subsumption_invalidations += dropped
         if callable(statement):
             statement = statement()  # only the fresh path needs the AST
         decision = self._beas.check(statement)
@@ -755,11 +825,13 @@ class BEASServer:
         parse_hit: bool,
         executor: Optional[str] = None,
         rebind: Optional[_RebindRequest] = None,
+        result_reuse: str = "exact",
     ) -> BEASResult:
         if executor is not None:
             # fail on a bad per-query mode here, before any lock is taken
             # or the bounded pipeline is entered
             resolve_executor_mode(executor)
+        validate_result_reuse(result_reuse)
         with self._admin_lock:
             self._executions += 1
         hits = 1 if parse_hit else 0
@@ -792,6 +864,7 @@ class BEASServer:
                     lock_wait=lock_wait,
                     executor=executor,
                     rebind=rebind,
+                    result_reuse=result_reuse,
                 )
             finally:
                 release_read_ordered(shards)
@@ -815,6 +888,7 @@ class BEASServer:
         lock_wait: float,
         executor: Optional[str] = None,
         rebind: Optional[_RebindRequest] = None,
+        result_reuse: str = "exact",
     ) -> BEASResult:
         # the consistent table-version vector this request observes: read
         # under the shard read locks, so no dependency can move under us
@@ -861,6 +935,21 @@ class BEASServer:
             if entry is not None:  # stale despite sweeps: drop defensively
                 home.invalidate(result_key)
             misses += 1
+            if result_reuse == "subsume":
+                served = self._probe_subsumption(
+                    statement,
+                    fingerprint,
+                    tables,
+                    versions,
+                    generation,
+                    home,
+                    result_key,
+                    hits=hits,
+                    misses=misses,
+                    lock_wait=lock_wait,
+                )
+                if served is not None:
+                    return served
 
         decision, provenance = self._decision(
             statement, fingerprint, generation, rebind=rebind
@@ -885,6 +974,17 @@ class BEASServer:
         result.metrics.decision_provenance = provenance
 
         if use_result_cache and result.mode is not ExecutionMode.APPROXIMATE:
+            summary: Optional[QuerySummary] = None
+            if result_reuse == "subsume" and result.mode is ExecutionMode.BOUNDED:
+                # only a complete bounded answer is a sound subsumption
+                # source (a PARTIAL answer's missing rows could be
+                # exactly the tighter query's)
+                candidate_summary = self._summary_of(statement, fingerprint)
+                if candidate_summary.reusable:
+                    summary = candidate_summary
+            template_fp = (
+                rebind.template_fingerprint if rebind is not None else None
+            )
             admitted = home.admit(
                 result_key,
                 _CachedResult(
@@ -894,6 +994,8 @@ class BEASServer:
                     decision=decision,
                     table_versions=dict(versions),
                     schema_generation=generation,
+                    summary=summary,
+                    template_fingerprint=template_fp,
                 ),
             )
             if admitted:
@@ -901,7 +1003,130 @@ class BEASServer:
                 # lock: a writer invalidating one of these tables cannot
                 # run until we release, so it will see this entry
                 self._register_dependents(result_key, tables, home.table)
+                if summary is not None:
+                    self._subsume_index.add(
+                        Candidate(
+                            shape_key=summary.shape_key,
+                            result_key=result_key,
+                            home=home.table,
+                            generation=generation,
+                            summary=summary,
+                            template_fingerprint=template_fp,
+                        )
+                    )
         return result
+
+    def _summary_of(
+        self, statement: ast.Statement, fingerprint: str
+    ) -> QuerySummary:
+        """The statement's predicate-lattice summary, through the
+        summary cache (a pure function of the statement, keyed by
+        fingerprint — never flushed for freshness)."""
+        summary = self._summary_cache.get(fingerprint)
+        if summary is None:
+            summary = summarize_statement(statement)
+            self._summary_cache.put(fingerprint, summary)
+        return summary
+
+    def _probe_subsumption(
+        self,
+        statement: ast.Statement,
+        fingerprint: str,
+        tables: frozenset[str],
+        versions: dict[str, int],
+        generation: int,
+        home: TableShard,
+        result_key: tuple,
+        *,
+        hits: int,
+        misses: int,
+        lock_wait: float,
+    ) -> Optional[BEASResult]:
+        """Try to answer from a cached bounded superset after an exact
+        result-cache miss. Returns the subsumed result, or ``None`` to
+        fall through to a fresh decision + execution.
+
+        Runs under the request's schema + dependency read locks, so the
+        version-vector freshness check it applies to a candidate entry
+        is made against the same consistent snapshot the fresh path
+        would execute under. Candidates are only eligible when they were
+        cached under the same (budget, allow_partial,
+        approximate_over_budget) option triple — a subsumed answer must
+        never out-run a budget refusal the fresh path would have issued.
+        """
+        summary = self._summary_of(statement, fingerprint)
+        if not summary.reusable:
+            with self._admin_lock:
+                self._subsumption_rejects += 1
+            return None
+        candidates = self._subsume_index.candidates(summary.shape_key)
+        examined = 0
+        for candidate in candidates:
+            if candidate.result_key == result_key:
+                continue  # the exact lookup already missed on this key
+            if candidate.result_key[1:] != result_key[1:]:
+                continue  # different option triple: not comparable
+            if candidate.generation != generation:
+                self._subsume_index.discard(
+                    summary.shape_key, candidate.result_key
+                )
+                continue
+            shard = self._shards.get(candidate.home)
+            entry = (
+                shard.peek(candidate.result_key) if shard is not None else None
+            )
+            if entry is None:  # evicted/invalidated under the candidate
+                self._subsume_index.discard(
+                    summary.shape_key, candidate.result_key
+                )
+                continue
+            if (
+                entry.mode is not ExecutionMode.BOUNDED
+                or entry.summary is None
+                or not self._entry_fresh(entry, versions, generation)
+            ):
+                continue
+            examined += 1
+            plan = subsumes(entry.summary, summary)
+            if plan is None:
+                continue
+            rows = apply_refilter(plan, entry.columns, entry.rows)
+            if rows is None:
+                continue
+            with self._admin_lock:
+                self._subsumed_hits += 1
+            metrics = ExecutionMetrics(
+                rows_output=len(rows),
+                served_from_cache=True,
+                cache_hits=hits + 1,
+                cache_misses=misses,
+                lock_wait_seconds=lock_wait,
+                table_versions=dict(versions),
+                decision_provenance="subsumed",
+            )
+            # The re-filtered answer is NOT re-admitted under its own
+            # key, nor indexed as a candidate: it is strictly narrower
+            # than its source, so the source answers every repeat and
+            # every further refinement at probe cost, while a private
+            # copy would double-cache the same rows and (if indexed)
+            # evict broader sources from the per-shape LRU. Only the
+            # source's recency is refreshed.
+            self._subsume_index.touch(
+                candidate.shape_key, candidate.result_key
+            )
+            return BEASResult(
+                columns=list(entry.columns),
+                rows=rows,
+                mode=entry.mode,
+                decision=entry.decision,
+                metrics=metrics,
+            )
+        if examined:
+            # live same-shape candidates existed but none subsumed this
+            # binding's region (or post-filtering was refused)
+            with self._admin_lock:
+                self._subsumption_rejects += 1
+        return None
 
     def _entry_fresh(
         self,

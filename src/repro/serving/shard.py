@@ -229,6 +229,15 @@ class TableShard:
         with self._mutex:
             return self.results.get(key)
 
+    def peek(self, key: Hashable) -> Any:
+        """Speculative read: no recency promotion, no hit/miss counts.
+
+        Used by the subsumption prober, whose candidate inspections must
+        not distort the exact-lookup statistics or the LRU order.
+        """
+        with self._mutex:
+            return self.results.peek(key)
+
     def admit(self, key: Hashable, entry: Any) -> bool:
         """Insert ``entry`` subject to the admission policy.
 

@@ -14,7 +14,19 @@ that are semantics-preserving under SQL's three-valued logic:
   text (``AND`` is commutative and associative; no side effects exist);
 * sort and deduplicate the members of an ``IN`` / ``NOT IN`` list whose
   items are all literals (membership is order- and
-  multiplicity-independent).
+  multiplicity-independent);
+* rewrite ``x BETWEEN lo AND hi`` to ``x >= lo AND x <= hi`` and
+  ``x NOT BETWEEN lo AND hi`` to ``x < lo OR x > hi`` **when both
+  bounds are non-NULL literals**, so the two spellings of a range share
+  one decision/result cache line. The guard is load-bearing for
+  three-valued logic: the engine evaluates BETWEEN as UNKNOWN whenever
+  *any* operand is NULL, while the decomposed form can collapse to
+  FALSE (``UNKNOWN AND FALSE``) or TRUE (``UNKNOWN OR TRUE``) when only
+  a bound is NULL — so with a NULL (or non-literal, hence possibly
+  NULL-valued) bound the spellings are not truth-value equivalent in
+  nested positions and must keep distinct fingerprints. With non-NULL
+  literal bounds the rewrite is exact in every position: a NULL operand
+  makes both forms UNKNOWN, and non-NULL operands are classical.
 
 Deeper equivalences (predicate implication, join reordering under
 dependencies) are out of scope — a missed equivalence costs a cache
@@ -45,14 +57,26 @@ def _rebuild_and(conjuncts: list[ast.Expression]) -> ast.Expression:
     return node
 
 
+def _rewritable_bounds(low: ast.Expression, high: ast.Expression) -> bool:
+    """BETWEEN bounds safe for the conjunct rewrite (see module doc)."""
+    return (
+        isinstance(low, ast.Literal)
+        and low.value is not None
+        and isinstance(high, ast.Literal)
+        and high.value is not None
+    )
+
+
 def canonical_expression(expr: ast.Expression) -> ast.Expression:
     """Reorder commutative parts of ``expr`` into a canonical form."""
     if isinstance(expr, ast.BinaryOp):
         if expr.op == "AND":
-            conjuncts = sorted(
-                (canonical_expression(c) for c in _and_conjuncts(expr)),
-                key=expression_to_sql,
-            )
+            # canonicalising a conjunct can itself introduce an AND (the
+            # BETWEEN rewrite below), so re-flatten before sorting
+            flattened: list[ast.Expression] = []
+            for conjunct in _and_conjuncts(expr):
+                flattened.extend(_and_conjuncts(canonical_expression(conjunct)))
+            conjuncts = sorted(flattened, key=expression_to_sql)
             return _rebuild_and(conjuncts)
         return ast.BinaryOp(
             expr.op,
@@ -80,11 +104,25 @@ def canonical_expression(expr: ast.Expression) -> ast.Expression:
             items = tuple(deduped)
         return ast.InList(canonical_expression(expr.operand), items, expr.negated)
     if isinstance(expr, ast.Between):
-        return ast.Between(
-            canonical_expression(expr.operand),
-            canonical_expression(expr.low),
-            canonical_expression(expr.high),
-            expr.negated,
+        operand = canonical_expression(expr.operand)
+        low = canonical_expression(expr.low)
+        high = canonical_expression(expr.high)
+        if not _rewritable_bounds(low, high):
+            return ast.Between(operand, low, high, expr.negated)
+        if expr.negated:
+            return ast.BinaryOp(
+                "OR",
+                ast.BinaryOp("<", operand, low),
+                ast.BinaryOp(">", operand, high),
+            )
+        # route through the AND branch so the two conjuncts land in the
+        # same sorted position as the hand-written spelling
+        return canonical_expression(
+            ast.BinaryOp(
+                "AND",
+                ast.BinaryOp(">=", operand, low),
+                ast.BinaryOp("<=", operand, high),
+            )
         )
     if isinstance(expr, ast.Like):
         return ast.Like(

@@ -240,6 +240,38 @@ def _literal_values(exprs: tuple[ast.Expression, ...]) -> Optional[list]:
     return values
 
 
+def _expand_range_conjunct(resolved: ast.Expression) -> list[ast.Expression]:
+    """Rewrite a BETWEEN conjunct with non-NULL literal bounds into its
+    comparison form, mirroring ``sql.fingerprint`` canonicalisation so
+    both spellings of a range produce identical filters (and therefore
+    identical rebind templates and subsumption summaries). The literal
+    guard matches the fingerprint's: with a NULL or non-literal bound
+    the decomposition is not truth-value equivalent under three-valued
+    logic, so such conjuncts are kept verbatim."""
+    if not isinstance(resolved, ast.Between):
+        return [resolved]
+    low, high = resolved.low, resolved.high
+    if not (
+        isinstance(low, ast.Literal)
+        and low.value is not None
+        and isinstance(high, ast.Literal)
+        and high.value is not None
+    ):
+        return [resolved]
+    if resolved.negated:
+        return [
+            ast.BinaryOp(
+                "OR",
+                ast.BinaryOp("<", resolved.operand, low),
+                ast.BinaryOp(">", resolved.operand, high),
+            )
+        ]
+    return [
+        ast.BinaryOp(">=", resolved.operand, low),
+        ast.BinaryOp("<=", resolved.operand, high),
+    ]
+
+
 def _intersect_selection(
     selections: dict[Attribute, tuple], attr: Attribute, values: list
 ) -> None:
@@ -323,8 +355,12 @@ def normalize(
     all_conjuncts = ast.conjuncts(statement.where) + [
         c for cond in on_conditions for c in ast.conjuncts(cond)
     ]
-    for conjunct in all_conjuncts:
-        resolved = resolver.resolve(conjunct)
+    resolved_conjuncts = [
+        part
+        for conjunct in all_conjuncts
+        for part in _expand_range_conjunct(resolver.resolve(conjunct))
+    ]
+    for resolved in resolved_conjuncts:
         if isinstance(resolved, ast.BinaryOp) and resolved.op == "=":
             left, right = resolved.left, resolved.right
             if isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef):

@@ -42,6 +42,12 @@ class TestValidators:
         with pytest.raises(BEASError, match="parallel_dispatch"):
             config.validate_dispatch("scatter")
 
+    def test_result_reuse(self):
+        for mode in ("exact", "subsume"):
+            assert config.validate_result_reuse(mode) == mode
+        with pytest.raises(BEASError, match="result_reuse"):
+            config.validate_result_reuse("fuzzy")
+
 
 class TestEnvironmentReaders:
     def test_unset_is_none(self, monkeypatch):
@@ -50,12 +56,14 @@ class TestEnvironmentReaders:
             "BEAS_ROWS_PER_BATCH",
             "BEAS_PARALLELISM",
             "BEAS_POOL_START_METHOD",
+            "BEAS_RESULT_REUSE",
         ):
             monkeypatch.delenv(name, raising=False)
         assert config.env_executor() is None
         assert config.env_rows_per_batch() is None
         assert config.env_parallelism() is None
         assert config.env_pool_start_method() is None
+        assert config.env_result_reuse() is None
 
     def test_values_round_trip(self, monkeypatch):
         monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
@@ -74,6 +82,7 @@ class TestEnvironmentReaders:
             ("BEAS_PARALLELISM", "two", "integer"),
             ("BEAS_PARALLELISM", "-1", ">= 1"),
             ("BEAS_POOL_START_METHOD", "teleport", "BEAS_POOL_START_METHOD"),
+            ("BEAS_RESULT_REUSE", "fuzzy", "BEAS_RESULT_REUSE"),
             ("BEAS_FUZZ_SEEDS", "many", "integer"),
             ("BEAS_FUZZ_SEEDS", "0", ">= 1"),
         ],
@@ -96,6 +105,12 @@ class TestEnvironmentReaders:
         monkeypatch.setenv("BEAS_POOL_START_METHOD", method)
         assert config.env_pool_start_method() == method
 
+    def test_result_reuse_round_trip(self, monkeypatch):
+        monkeypatch.setenv("BEAS_RESULT_REUSE", "subsume")
+        assert config.env_result_reuse() == "subsume"
+        monkeypatch.setenv("BEAS_RESULT_REUSE", "exact")
+        assert config.env_result_reuse() == "exact"
+
 
 class TestEnvConfig:
     def test_load_snapshot(self, monkeypatch):
@@ -103,6 +118,7 @@ class TestEnvConfig:
         monkeypatch.setenv("BEAS_PARALLELISM", "2")
         monkeypatch.delenv("BEAS_ROWS_PER_BATCH", raising=False)
         monkeypatch.delenv("BEAS_POOL_START_METHOD", raising=False)
+        monkeypatch.delenv("BEAS_RESULT_REUSE", raising=False)
         monkeypatch.delenv("BEAS_FUZZ_SEEDS", raising=False)
         snapshot = load_env_config()
         assert snapshot == EnvConfig(

@@ -97,3 +97,45 @@ class TestStatementTables:
     def test_set_operation(self):
         stmt = parse("SELECT a FROM r UNION SELECT a FROM t")
         assert statement_tables(stmt) == {"r", "t"}
+
+
+class TestBetweenCanonicalisation:
+    """BETWEEN and its conjunct spelling must share one cache line —
+    except when a bound's NULL semantics make the rewrite unsound."""
+
+    def test_between_equals_conjunct_spelling(self):
+        a = "SELECT region FROM call WHERE date BETWEEN '2016-01-01' AND '2016-06-30'"
+        b = "SELECT region FROM call WHERE date >= '2016-01-01' AND date <= '2016-06-30'"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_between_sorts_with_sibling_conjuncts(self):
+        # the introduced conjuncts must land in the same sorted position
+        # as hand-written ones, whatever order they were spelled in
+        a = "SELECT region FROM call WHERE pnum = '1' AND date BETWEEN 'a' AND 'b'"
+        b = "SELECT region FROM call WHERE date <= 'b' AND pnum = '1' AND date >= 'a'"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_not_between_equals_disjunct_spelling(self):
+        a = "SELECT region FROM call WHERE date NOT BETWEEN 'a' AND 'b'"
+        b = "SELECT region FROM call WHERE date < 'a' OR date > 'b'"
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_null_bound_keeps_distinct_fingerprints(self):
+        # x NOT BETWEEN NULL AND 5 is UNKNOWN for x=10 under the engine's
+        # BETWEEN, but x < NULL OR x > 5 is TRUE — not the same query
+        a = "SELECT a FROM r WHERE a NOT BETWEEN NULL AND 5"
+        b = "SELECT a FROM r WHERE a < NULL OR a > 5"
+        assert statement_fingerprint(a) != statement_fingerprint(b)
+        c = "SELECT a FROM r WHERE a BETWEEN NULL AND 5"
+        d = "SELECT a FROM r WHERE a >= NULL AND a <= 5"
+        assert statement_fingerprint(c) != statement_fingerprint(d)
+
+    def test_column_bound_keeps_distinct_fingerprints(self):
+        # a column-valued bound may be NULL at runtime: no rewrite
+        a = "SELECT a FROM r WHERE a BETWEEN b AND 5"
+        b = "SELECT a FROM r WHERE a >= b AND a <= 5"
+        assert statement_fingerprint(a) != statement_fingerprint(b)
+
+    def test_between_canonical_sql_is_conjunct_form(self):
+        text = canonical_sql("SELECT a FROM r WHERE a BETWEEN 1 AND 2")
+        assert "BETWEEN" not in text.upper()

@@ -174,3 +174,41 @@ class TestNeededAttributes:
     def test_order_by_base_attr_counts_as_needed(self):
         cq = norm("SELECT region FROM call ORDER BY date")
         assert "date" in cq.attributes_of("call")
+
+
+class TestBetweenExpansion:
+    """BETWEEN with non-NULL literal bounds expands to its range
+    conjuncts so both spellings classify (and plan) identically."""
+
+    @staticmethod
+    def _filter_texts(cq):
+        from repro.sql.printer import expression_to_sql
+
+        return sorted(expression_to_sql(f.expression) for f in cq.filters)
+
+    def test_between_matches_conjunct_spelling(self):
+        a = norm("SELECT region FROM call WHERE date BETWEEN 'a' AND 'b'")
+        b = norm("SELECT region FROM call WHERE date >= 'a' AND date <= 'b'")
+        assert len(a.filters) == 2
+        assert self._filter_texts(a) == self._filter_texts(b)
+
+    def test_not_between_matches_disjunct_spelling(self):
+        a = norm("SELECT region FROM call WHERE date NOT BETWEEN 'a' AND 'b'")
+        b = norm("SELECT region FROM call WHERE date < 'a' OR date > 'b'")
+        assert len(a.filters) == 1
+        assert self._filter_texts(a) == self._filter_texts(b)
+
+    def test_null_bound_stays_a_between_filter(self):
+        # with a NULL bound the conjunct form is not truth-value
+        # equivalent (engine BETWEEN: any NULL operand -> UNKNOWN), so
+        # the Between node must survive normalisation untouched
+        cq = norm("SELECT region FROM call WHERE date BETWEEN NULL AND 'b'")
+        assert len(cq.filters) == 1
+        assert isinstance(cq.filters[0].expression, ast.Between)
+
+    def test_column_bound_stays_a_between_filter(self):
+        cq = norm(
+            "SELECT region FROM call WHERE date BETWEEN recnum AND 'b'"
+        )
+        assert len(cq.filters) == 1
+        assert isinstance(cq.filters[0].expression, ast.Between)
