@@ -94,12 +94,15 @@ class ExecutionOptions:
     approximate_over_budget: Optional[bool] = None
     use_result_cache: Optional[bool] = None
     result_reuse: Optional[str] = None  # "exact" | "subsume"
+    routing: Optional[str] = None  # "static" | "learned"
 
     def __post_init__(self) -> None:
         if self.executor is not None:
             config.validate_executor(self.executor)
         if self.result_reuse is not None:
             config.validate_result_reuse(self.result_reuse)
+        if self.routing is not None:
+            config.validate_routing(self.routing)
         if self.rows_per_batch is not None:
             config.validate_rows_per_batch(self.rows_per_batch)
         if self.parallelism is not None:
@@ -162,6 +165,7 @@ class ExecutionOptions:
             rows_per_batch=config.env_rows_per_batch(),
             parallelism=config.env_parallelism(),
             result_reuse=config.env_result_reuse(),
+            routing=config.env_routing(),
         )
 
     @staticmethod
@@ -177,6 +181,7 @@ class ExecutionOptions:
             approximate_over_budget=False,
             use_result_cache=True,
             result_reuse="exact",
+            routing="static",
         )
 
     def describe(self) -> str:
@@ -503,6 +508,7 @@ class Query:
             use_result_cache=resolved.use_result_cache,
             executor=resolved.executor,
             result_reuse=resolved.result_reuse,
+            routing=resolved.routing,
         )
         return self._session._wrap(raw, self, resolved)
 
@@ -639,7 +645,14 @@ class Session:
                         f"{name}={getattr(resolved, name)!r}); set it on the "
                         "Session, the EngineProfile, or the environment"
                     )
+            pinned = layer.executor is not None and layer.routing is None
             resolved = layer.over(resolved)
+            if pinned and resolved.routing == "learned":
+                # an explicit executor at this layer pins the mode:
+                # routing inherited from a lower layer (e.g. ambient
+                # BEAS_ROUTING=learned) must not reroute it — setting
+                # routing alongside the executor re-enables the router
+                resolved = resolved.replace(routing="static")
         return resolved
 
     # ------------------------------------------------------------------ #
@@ -693,6 +706,7 @@ class Session:
             use_result_cache=resolved.use_result_cache,
             executor=resolved.executor,
             result_reuse=resolved.result_reuse,
+            routing=resolved.routing,
         )
         return self._wrap(raw, None, resolved)
 

@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.access.catalog import ASCatalog
 from repro.access.constraint import AccessConstraint
 from repro.access.schema import AccessSchema
-from repro.errors import BEASDeprecationWarning, BudgetExceededError
+from repro.errors import BEASDeprecationWarning, BEASError, BudgetExceededError
 from repro.sql import ast
 from repro.storage.database import Database
 from repro.engine.columnar import resolve_executor_mode, resolve_rows_per_batch
@@ -259,6 +259,45 @@ class BEAS:
             self._executors[mode] = engine
         return engine
 
+    #: How each learned route maps onto an executor build:
+    #: (executor mode, pooled?, pinned dispatch).
+    _ROUTE_SPECS = {
+        "row": ("row", False, "auto"),
+        "columnar": ("columnar", False, "auto"),
+        "pooled-plan": ("columnar", True, "plan"),
+        "pooled-batch": ("columnar", True, "batch"),
+    }
+
+    def routed_executor(self, route: str) -> BoundedPlanExecutor:
+        """The BE Plan Executor for one learned *route* (memoised).
+
+        Unlike :meth:`bounded_executor`, a route pins the whole engine
+        shape — the pooled routes force their dispatch strategy and the
+        serial routes never touch the pool — so the adaptive router can
+        choose pooled-vs-local per query without disturbing the
+        engine-pinned ``parallelism``/``parallel_dispatch`` options.
+        """
+        spec = self._ROUTE_SPECS.get(route)
+        if spec is None:
+            raise BEASError(
+                f"unknown route {route!r} (expected one of "
+                f"{', '.join(self._ROUTE_SPECS)})"
+            )
+        key = f"route:{route}"
+        engine = self._executors.get(key)
+        if engine is None:
+            mode, pooled, dispatch = spec
+            engine = BoundedPlanExecutor(
+                self.catalog,
+                dedup_keys=self._dedup_keys,
+                executor=mode,
+                rows_per_batch=self._rows_per_batch,
+                pool=self._pool_provider if pooled else None,
+                dispatch=dispatch,
+            )
+            self._executors[key] = engine
+        return engine
+
     # ------------------------------------------------------------------ #
     # access schema management
     # ------------------------------------------------------------------ #
@@ -387,6 +426,7 @@ class BEAS:
         allow_partial: bool = True,
         approximate_over_budget: bool = False,
         executor: Optional[str] = None,
+        route: Optional[str] = None,
     ) -> BEASResult:
         """Execute ``query`` under an already-made checker ``decision``.
 
@@ -399,7 +439,10 @@ class BEAS:
         when a ``budget`` is passed here, feasibility is (re)derived from
         the decision's access bound. ``executor`` overrides the bounded
         execution mode per query; answers are mode-independent, so the
-        decision and result caches need no extra keying.
+        decision and result caches need no extra keying. ``route``
+        (learned routing) goes further and pins the full engine shape
+        for the covered bounded branch — see :meth:`routed_executor`;
+        non-covered paths still follow ``executor``.
         """
         if (
             budget is not None
@@ -424,7 +467,12 @@ class BEAS:
                         approximation=approx,
                     )
                 raise BudgetExceededError(decision.access_bound, budget)
-            result = self.bounded_executor(executor).execute(decision.plan)
+            engine = (
+                self.routed_executor(route)
+                if route is not None
+                else self.bounded_executor(executor)
+            )
+            result = engine.execute(decision.plan)
             return BEASResult.from_query_result(
                 result, ExecutionMode.BOUNDED, decision
             )

@@ -286,6 +286,10 @@ class BoundedPlanExecutor:
             if outcome is not None:
                 outcome.metrics.seconds = time.perf_counter() - start
                 return outcome
+            # the pooled dispatch was attempted but fell back in-process:
+            # pool_workers below still describes the attempted shape, so
+            # mark the outcome as (at least partly) serial
+            metrics.pool_fallbacks += 1
         intermediate = self._run(plan, metrics)
         if pool is not None:
             metrics.pool_workers = pool.workers
@@ -530,6 +534,8 @@ class BoundedPlanExecutor:
             )
             metrics.pool_batches += remote
             metrics.pool_wait_seconds += wait
+            # chunks the pool could not serve ran locally via local_fn
+            metrics.pool_fallbacks += len(payloads) - remote
             if dedup:
                 fetched = merge_dedup_counts(results)
             else:

@@ -64,11 +64,23 @@ def _build_session(
     """One Session per CLI invocation (the unified lifecycle)."""
     database = _load_database(Path(args.data))
     schema = load_schema(Path(args.schema)) if args.schema else None
+    routing = getattr(args, "routing", None)
+    shape_pinned = any(
+        getattr(args, flag, None) is not None
+        for flag in ("executor", "rows_per_batch", "parallelism")
+    )
+    if routing is None and shape_pinned:
+        # an explicit shape flag (--executor / --rows-per-batch /
+        # --parallelism) pins the execution shape for this invocation:
+        # ambient BEAS_ROUTING=learned must not reroute it (pass
+        # --routing learned to re-enable the router on top)
+        routing = "static"
     options = ExecutionOptions(
         executor=getattr(args, "executor", None),
         rows_per_batch=getattr(args, "rows_per_batch", None),
         parallelism=getattr(args, "parallelism", None),
         result_reuse=getattr(args, "result_reuse", None),
+        routing=routing,
     )
     return Session(
         database,
@@ -244,6 +256,11 @@ def _serve_stats(args: argparse.Namespace, session: Session) -> int:
             f"dispatched={metrics.pool_batches} "
             f"wait={metrics.pool_wait_seconds * 1000:.2f} ms"
         )
+    if metrics.routed_mode:
+        line += (
+            f"; routed={metrics.routed_mode}"
+            f"{' (explored)' if metrics.routing_explored else ''}"
+        )
     print(line)
     warm = latencies[1:] or latencies
     print(
@@ -410,6 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache matching: exact fingerprints only, or also "
         "answer from a cached bounded superset "
         "(default: BEAS_RESULT_REUSE or exact)",
+    )
+    serve_stats.add_argument(
+        "--routing",
+        choices=["static", "learned"],
+        help="executor routing: static (the resolved executor) or learned "
+        "(online per-template cost model picks the mode; "
+        "default: BEAS_ROUTING or static)",
     )
     serve_stats.set_defaults(handler=_cmd_serve_stats)
 

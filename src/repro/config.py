@@ -19,6 +19,8 @@ The variables, and where they sit in the option-precedence chain
 ``BEAS_PARALLELISM``         engine-pool worker processes (positive int)
 ``BEAS_POOL_START_METHOD``   multiprocessing start method for the pool
 ``BEAS_RESULT_REUSE``        result-cache matching: ``exact`` | ``subsume``
+``BEAS_ROUTING``             executor routing: ``static`` | ``learned``
+``BEAS_ROUTING_EPSILON``     learned-routing exploration rate (float in [0, 1])
 ``BEAS_FUZZ_SEEDS``          seed count for the differential fuzz suites
 ===========================  ==============================================
 """
@@ -37,6 +39,8 @@ ENV_ROWS_PER_BATCH = "BEAS_ROWS_PER_BATCH"
 ENV_PARALLELISM = "BEAS_PARALLELISM"
 ENV_POOL_START_METHOD = "BEAS_POOL_START_METHOD"
 ENV_RESULT_REUSE = "BEAS_RESULT_REUSE"
+ENV_ROUTING = "BEAS_ROUTING"
+ENV_ROUTING_EPSILON = "BEAS_ROUTING_EPSILON"
 ENV_FUZZ_SEEDS = "BEAS_FUZZ_SEEDS"
 
 #: Bounded-pipeline execution modes.
@@ -51,8 +55,17 @@ DISPATCH_MODES = ("auto", "plan", "batch")
 #: (:mod:`repro.bounded.subsume`).
 RESULT_REUSE_MODES = ("exact", "subsume")
 
+#: Executor-routing modes: ``static`` runs every covered query on the
+#: resolved ``executor``; ``learned`` routes each covered query to the
+#: mode an online per-template cost model predicts fastest
+#: (:mod:`repro.engine.router`).
+ROUTING_MODES = ("static", "learned")
+
 #: Default number of rows per processing batch in columnar mode.
 DEFAULT_ROWS_PER_BATCH = 4096
+
+#: Default epsilon-greedy exploration rate for learned routing.
+DEFAULT_ROUTING_EPSILON = 0.1
 
 
 # --------------------------------------------------------------------------- #
@@ -101,6 +114,26 @@ def validate_result_reuse(mode: str, *, source: str = "result_reuse") -> str:
             f"{' or '.join(repr(m) for m in RESULT_REUSE_MODES)})"
         )
     return mode
+
+
+def validate_routing(mode: str, *, source: str = "routing") -> str:
+    if mode not in ROUTING_MODES:
+        raise BEASError(
+            f"unknown {source} {mode!r} (expected "
+            f"{' or '.join(repr(m) for m in ROUTING_MODES)})"
+        )
+    return mode
+
+
+def validate_routing_epsilon(value, *, source: str = "routing epsilon") -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BEASError(
+            f"{source} must be a float, got {type(value).__name__} ({value!r})"
+        )
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise BEASError(f"{source} must be in [0, 1], got {value}")
+    return value
 
 
 def _env_int(name: str) -> Optional[int]:
@@ -157,6 +190,26 @@ def env_result_reuse() -> Optional[str]:
     return validate_result_reuse(raw, source=ENV_RESULT_REUSE)
 
 
+def env_routing() -> Optional[str]:
+    raw = os.environ.get(ENV_ROUTING)
+    if not raw:
+        return None
+    return validate_routing(raw, source=ENV_ROUTING)
+
+
+def env_routing_epsilon() -> Optional[float]:
+    raw = os.environ.get(ENV_ROUTING_EPSILON)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BEASError(
+            f"{ENV_ROUTING_EPSILON} must be a float, got {raw!r}"
+        ) from None
+    return validate_routing_epsilon(value, source=ENV_ROUTING_EPSILON)
+
+
 def env_fuzz_seeds(default: int = 8) -> int:
     value = _env_int(ENV_FUZZ_SEEDS)
     if value is None:
@@ -182,6 +235,8 @@ class EnvConfig:
     parallelism: Optional[int] = None
     pool_start_method: Optional[str] = None
     result_reuse: Optional[str] = None
+    routing: Optional[str] = None
+    routing_epsilon: Optional[float] = None
     fuzz_seeds: int = 8
 
     def describe(self) -> str:
@@ -191,6 +246,8 @@ class EnvConfig:
             (ENV_PARALLELISM, self.parallelism),
             (ENV_POOL_START_METHOD, self.pool_start_method),
             (ENV_RESULT_REUSE, self.result_reuse),
+            (ENV_ROUTING, self.routing),
+            (ENV_ROUTING_EPSILON, self.routing_epsilon),
             (ENV_FUZZ_SEEDS, self.fuzz_seeds),
         ]
         return "\n".join(
@@ -207,5 +264,7 @@ def load_env_config(*, fuzz_default: int = 8) -> EnvConfig:
         parallelism=env_parallelism(),
         pool_start_method=env_pool_start_method(),
         result_reuse=env_result_reuse(),
+        routing=env_routing(),
+        routing_epsilon=env_routing_epsilon(),
         fuzz_seeds=env_fuzz_seeds(fuzz_default),
     )

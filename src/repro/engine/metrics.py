@@ -49,6 +49,13 @@ class ExecutionMetrics:
     pool_workers: int = 0  # worker processes available to this execution
     pool_batches: int = 0  # column batches / whole plans run on workers
     pool_wait_seconds: float = 0.0  # time blocked acquiring pool workers
+    # pooled dispatches that fell back in-process (exhaustion, worker
+    # death, unsupported shape); a pooled execution with fallbacks is a
+    # (partially) serial run and must not train pooled cost models
+    pool_fallbacks: int = 0
+    # --- adaptive-routing counters (engine.router) ---
+    routed_mode: str = ""  # route the learned router picked ("" = static)
+    routing_explored: bool = False  # route was an exploration, not the argmin
     # --- sharded-serving counters: per-request concurrency events ---
     lock_wait_seconds: float = 0.0  # time blocked on schema + shard locks
     # the consistent per-table data-version vector this answer was computed

@@ -1,0 +1,374 @@
+"""Learned adaptive executor routing.
+
+The engine has four observationally-identical execution modes for a
+covered bounded plan — ``row``, ``columnar``, ``pooled-plan`` and
+``pooled-batch`` — that differ only in latency. This module picks the
+mode per query: one lightweight cost model per (template fingerprint,
+route), trained online from observed ``ExecutionMetrics.seconds``,
+routes each covered execution to the predicted-fastest mode with
+epsilon-greedy exploration (maliva's one-model-per-plan shape, fitted
+incrementally instead of offline).
+
+Soundness is free: every route returns the same rows in the same order
+with the same ``tuples_fetched`` (the 4-way differential suites lock
+this), so a wrong prediction costs latency, never correctness.
+
+Features come from the paper's §3 deduced bounds (the access bound is
+known *before* execution), the binding's constant arity, estimated
+equality selectivity from :mod:`repro.catalog.statistics`, and the
+engine shape (``rows_per_batch``, ``parallelism``). Costs are wall
+seconds; models are incremental ridge regressions over the feature
+vector (normal equations, exact solve — the dimension is tiny).
+
+The same feedback loop drives cost-aware result-cache admission: a
+result is worth caching only when re-executing it is predicted to cost
+more than serving it from the cache (an EWMA of measured cache-hit
+serve latencies — real numbers, now that the serve paths time
+themselves).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro import config
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bounded.plan import BoundedPlan
+    from repro.catalog.statistics import TableStatistics
+    from repro.engine.metrics import ExecutionMetrics
+
+#: Every executable route, in exploration order. The serial pair is
+#: always available; the pooled pair needs ``parallelism >= 2``.
+ROUTES = ("row", "columnar", "pooled-plan", "pooled-batch")
+SERIAL_ROUTES = ("row", "columnar")
+POOLED_ROUTES = ("pooled-plan", "pooled-batch")
+
+#: Feature vector layout (kept in one place so tests can assert on it).
+FEATURE_NAMES = (
+    "bias",
+    "log1p_access_bound",
+    "log1p_tight_access_bound",
+    "fetch_ops",
+    "select_ops",
+    "log1p_const_key_arity",
+    "log1p_estimated_rows",
+    "log1p_rows_per_batch",
+    "log1p_parallelism",
+)
+
+_RIDGE_LAMBDA = 1e-3
+_EWMA_ALPHA = 0.2
+
+
+def routing_features(
+    plan: "BoundedPlan",
+    statistics: dict[str, "TableStatistics"],
+    *,
+    rows_per_batch: int,
+    parallelism: int,
+) -> tuple[float, ...]:
+    """The router's feature vector for one covered bounded plan.
+
+    Pure over its inputs: the deduced bounds and key arities come from
+    the (possibly rebound) plan, the selectivity estimate from the
+    catalog statistics observed under the current read locks.
+    """
+    fetch_ops = plan.fetch_ops
+    select_ops = len(plan.ops) - len(fetch_ops)
+    const_arity = 0
+    estimated_rows = 0.0
+    for op in fetch_ops:
+        stats = statistics.get(op.constraint.relation)
+        op_selectivity = 1.0
+        keyed_on_const = False
+        for part in op.key_parts:
+            if part.source != "const":
+                continue
+            arity = len(part.values or ())
+            const_arity += arity
+            if stats is not None and stats.row_count:
+                per_value = stats.column(part.attribute).selectivity_of_equality(
+                    stats.row_count
+                )
+                op_selectivity *= min(1.0, per_value * max(1, arity))
+                keyed_on_const = True
+        if keyed_on_const and stats is not None:
+            estimate = stats.row_count * op_selectivity
+            if op.access_bound:
+                estimate = min(estimate, float(op.access_bound))
+            estimated_rows += estimate
+        else:
+            estimated_rows += float(op.access_bound)
+    return (
+        1.0,
+        math.log1p(max(0, plan.access_bound)),
+        math.log1p(max(0, plan.tight_access_bound)),
+        float(len(fetch_ops)),
+        float(select_ops),
+        math.log1p(const_arity),
+        math.log1p(max(0.0, estimated_rows)),
+        math.log1p(max(0, rows_per_batch)),
+        math.log1p(max(0, parallelism)),
+    )
+
+
+class _Regressor:
+    """Incremental ridge regression via normal equations.
+
+    Accumulates ``A = X'X + lambda*I`` and ``b = X'y``; solving the
+    d x d system (d = 9) by Gaussian elimination per prediction is
+    cheap and exact, and never needs the sample history.
+    """
+
+    __slots__ = ("dim", "count", "_a", "_b", "_theta", "_stale")
+
+    #: Refit cadence once a model has matured: the d x d solve is the
+    #: expensive step on the serving hot path, and after the first few
+    #: observations each additional sample barely moves theta.
+    _REFIT_EVERY = 8
+    _ALWAYS_REFIT_BELOW = 16
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        self.count = 0
+        self._a = [
+            [_RIDGE_LAMBDA if i == j else 0.0 for j in range(dim)]
+            for i in range(dim)
+        ]
+        self._b = [0.0] * dim
+        self._theta: Optional[list[float]] = None
+        self._stale = 0
+
+    def update(self, features: Sequence[float], target: float) -> None:
+        for i, fi in enumerate(features):
+            row = self._a[i]
+            for j, fj in enumerate(features):
+                row[j] += fi * fj
+            self._b[i] += fi * target
+        self.count += 1
+        self._stale += 1
+        if (
+            self.count <= self._ALWAYS_REFIT_BELOW
+            or self._stale >= self._REFIT_EVERY
+        ):
+            self._theta = None
+            self._stale = 0
+
+    def predict(self, features: Sequence[float]) -> Optional[float]:
+        if self.count == 0:
+            return None
+        theta = self._solve()
+        if theta is None:
+            return None
+        return sum(t * f for t, f in zip(theta, features))
+
+    def _solve(self) -> Optional[list[float]]:
+        if self._theta is not None:
+            return self._theta
+        n = self.dim
+        a = [row[:] for row in self._a]
+        b = self._b[:]
+        for col in range(n):
+            pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+            if abs(a[pivot][col]) < 1e-12:
+                return None
+            if pivot != col:
+                a[col], a[pivot] = a[pivot], a[col]
+                b[col], b[pivot] = b[pivot], b[col]
+            inv = 1.0 / a[col][col]
+            for r in range(col + 1, n):
+                factor = a[r][col] * inv
+                if factor == 0.0:
+                    continue
+                for c in range(col, n):
+                    a[r][c] -= factor * a[col][c]
+                b[r] -= factor * b[col]
+        theta = [0.0] * n
+        for r in range(n - 1, -1, -1):
+            acc = b[r] - sum(a[r][c] * theta[c] for c in range(r + 1, n))
+            theta[r] = acc / a[r][r]
+        self._theta = theta
+        return theta
+
+
+@dataclass(frozen=True)
+class RouteChoice:
+    """One routing decision: the route and whether it explored."""
+
+    route: str
+    explored: bool
+
+
+@dataclass
+class RouterStats:
+    """Counters for one :class:`ExecutorRouter` (a snapshot copy)."""
+
+    decisions: int = 0  # route() calls
+    explorations: int = 0  # decisions that explored (unseen or epsilon)
+    observations: int = 0  # outcomes trained into a model
+    fallback_skips: int = 0  # pooled outcomes ignored (pool fell back)
+    templates: int = 0  # distinct template fingerprints seen
+    models: int = 0  # (template, route) models with >= 1 sample
+    routed: dict[str, int] = field(default_factory=dict)  # decisions per route
+    admission_checks: int = 0  # cost-aware admission consultations
+    admission_declines: int = 0  # results kept out of the cache
+    lookup_cost_seconds: float = 0.0  # EWMA of measured cache-hit serves
+
+    def describe(self) -> str:
+        per_route = ", ".join(
+            f"{route}={count}" for route, count in sorted(self.routed.items())
+        )
+        return (
+            f"routing: decisions={self.decisions} "
+            f"explorations={self.explorations} "
+            f"observations={self.observations} "
+            f"fallback_skips={self.fallback_skips} "
+            f"templates={self.templates} models={self.models}\n"
+            f"routing: per-route [{per_route or '-'}]\n"
+            f"routing: admission checks={self.admission_checks} "
+            f"declines={self.admission_declines} "
+            f"lookup-cost={self.lookup_cost_seconds * 1e6:.1f}us"
+        )
+
+
+class ExecutorRouter:
+    """Online per-(template, route) cost model with epsilon-greedy routing.
+
+    Thread-safe: the serving layer calls it from many request threads.
+    The RNG is seeded so fuzz suites replay exploration deterministically.
+    """
+
+    def __init__(
+        self,
+        *,
+        parallelism: int = 1,
+        epsilon: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        self.routes = ROUTES if parallelism >= 2 else SERIAL_ROUTES
+        if epsilon is None:
+            epsilon = config.DEFAULT_ROUTING_EPSILON
+        self._epsilon = config.validate_routing_epsilon(epsilon)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._models: dict[tuple[str, str], _Regressor] = {}
+        self._templates: set[str] = set()
+        self._decisions = 0
+        self._explorations = 0
+        self._observations = 0
+        self._fallback_skips = 0
+        self._routed: dict[str, int] = {}
+        self._admission_checks = 0
+        self._admission_declines = 0
+        self._lookup_ewma: Optional[float] = None
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @epsilon.setter
+    def epsilon(self, value: float) -> None:
+        self._epsilon = config.validate_routing_epsilon(value)
+
+    def route(self, template: str, features: Sequence[float]) -> RouteChoice:
+        """Pick the route for one covered execution of ``template``."""
+        with self._lock:
+            self._templates.add(template)
+            self._decisions += 1
+            choice = self._pick(template, features)
+            self._routed[choice.route] = self._routed.get(choice.route, 0) + 1
+            if choice.explored:
+                self._explorations += 1
+            return choice
+
+    def _pick(self, template: str, features: Sequence[float]) -> RouteChoice:
+        # every route gets tried once per template before the model votes
+        for route in self.routes:
+            model = self._models.get((template, route))
+            if model is None or model.count == 0:
+                return RouteChoice(route, explored=True)
+        if self._epsilon > 0.0 and self._rng.random() < self._epsilon:
+            return RouteChoice(self._rng.choice(self.routes), explored=True)
+        best_route = self.routes[0]
+        best_cost: Optional[float] = None
+        for route in self.routes:
+            predicted = self._models[(template, route)].predict(features)
+            if predicted is None:
+                continue
+            if best_cost is None or predicted < best_cost:
+                best_cost = predicted
+                best_route = route
+        return RouteChoice(best_route, explored=False)
+
+    def observe(
+        self,
+        template: str,
+        route: str,
+        features: Sequence[float],
+        metrics: "ExecutionMetrics",
+    ) -> None:
+        """Train the (template, route) model on one observed execution.
+
+        Pooled outcomes that (even partially) fell back in-process are
+        skipped: their latency describes a serial run, and training a
+        pooled model on it would poison every later prediction.
+        """
+        with self._lock:
+            if route in POOLED_ROUTES and metrics.pool_fallbacks > 0:
+                self._fallback_skips += 1
+                return
+            key = (template, route)
+            model = self._models.get(key)
+            if model is None:
+                model = self._models[key] = _Regressor(len(FEATURE_NAMES))
+            model.update(features, metrics.seconds)
+            self._observations += 1
+
+    # ------------------------------------------------------------------ #
+    # cost-aware result-cache admission
+    # ------------------------------------------------------------------ #
+    def note_lookup(self, seconds: float) -> None:
+        """Record one measured cache-hit serve latency (EWMA)."""
+        if seconds <= 0.0:
+            return
+        with self._lock:
+            if self._lookup_ewma is None:
+                self._lookup_ewma = seconds
+            else:
+                self._lookup_ewma += _EWMA_ALPHA * (seconds - self._lookup_ewma)
+
+    def should_admit(self, execution_seconds: float) -> bool:
+        """Admit only when re-execution is predicted dearer than lookup.
+
+        Until a cache-hit latency has been measured there is nothing to
+        compare against, so admission stays open (matching the static
+        policy) rather than starving the cache of its first entries.
+        """
+        with self._lock:
+            self._admission_checks += 1
+            if self._lookup_ewma is None:
+                return True
+            if execution_seconds > self._lookup_ewma:
+                return True
+            self._admission_declines += 1
+            return False
+
+    def stats(self) -> RouterStats:
+        with self._lock:
+            return RouterStats(
+                decisions=self._decisions,
+                explorations=self._explorations,
+                observations=self._observations,
+                fallback_skips=self._fallback_skips,
+                templates=len(self._templates),
+                models=sum(1 for m in self._models.values() if m.count),
+                routed=dict(self._routed),
+                admission_checks=self._admission_checks,
+                admission_declines=self._admission_declines,
+                lookup_cost_seconds=self._lookup_ewma or 0.0,
+            )

@@ -182,7 +182,8 @@ class AsyncBEASServer:
 
     async def execute(self, query, **options) -> "BEASResult":
         """Options are forwarded to :meth:`BEASServer.execute` verbatim —
-        including ``executor="columnar"`` for a per-query vectorised run."""
+        including ``executor="columnar"`` for a per-query vectorised run
+        and ``routing="learned"`` for cost-model executor routing."""
         return await self._run(partial(self._server.execute, query, **options))
 
     async def execute_prepared(

@@ -209,13 +209,15 @@ class PreparedQuery:
         use_result_cache: bool = True,
         executor: Optional[str] = None,
         result_reuse: str = "exact",
+        routing: str = "static",
     ) -> "BEASResult":
         """Execute one binding through the serving caches.
 
         ``executor`` overrides the bounded execution mode
         ("row"/"columnar") for this call only; ``result_reuse="subsume"``
         additionally lets a cached bounded superset binding answer this
-        one by re-filtering its rows.
+        one by re-filtering its rows; ``routing="learned"`` delegates
+        the mode choice to the server's online cost model.
         """
         return self._server.execute_prepared(
             self,
@@ -226,6 +228,7 @@ class PreparedQuery:
             use_result_cache=use_result_cache,
             executor=executor,
             result_reuse=result_reuse,
+            routing=routing,
         )
 
     __call__ = execute

@@ -48,10 +48,12 @@ compares against.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Hashable, Mapping, Optional, Union
 
 from repro.beas.result import BEASResult, ExecutionMode
+from repro.bounded.plan import BoundedPlan
 from repro.bounded.rebind import RebindTemplate, build_rebind_template
 from repro.bounded.subsume import (
     Candidate,
@@ -61,10 +63,11 @@ from repro.bounded.subsume import (
     subsumes,
     summarize_statement,
 )
-from repro.config import validate_result_reuse
+from repro.config import env_routing_epsilon, validate_result_reuse, validate_routing
 from repro.engine.columnar import resolve_executor_mode
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.pool import PoolStats
+from repro.engine.router import ExecutorRouter, RouterStats, routing_features
 from repro.errors import ServingError
 from repro.sql import ast
 from repro.sql.fingerprint import statement_fingerprint, statement_tables
@@ -175,6 +178,10 @@ class ServingStats:
     # this server dispatch bounded work to the BEAS instance's worker
     # processes when it was built with parallelism >= 2
     pool: Optional[PoolStats] = None
+    # learned-routing counters (routing="learned" requests): per-route
+    # decisions, exploration rate, training observations, cost-aware
+    # admission declines
+    routing: Optional[RouterStats] = None
 
     @property
     def lock_wait_seconds(self) -> float:
@@ -214,6 +221,9 @@ class ServingStats:
         ]
         if self.pool is not None:
             lines.append(f"  {self.pool.describe()}")
+        if self.routing is not None and self.routing.decisions:
+            for line in self.routing.describe().splitlines():
+                lines.append(f"  {line}")
         for name in sorted(self.shards):
             lines.append(f"  {self.shards[name].describe()}")
         return "\n".join(lines)
@@ -289,6 +299,9 @@ class BEASServer:
         self._subsumption_rejects = 0
         self._subsumption_invalidations = 0
         self._schema_generation = beas.catalog.schema_generation
+        self._router = ExecutorRouter(
+            parallelism=beas.parallelism, epsilon=env_routing_epsilon()
+        )
 
     def _new_shard(self, name: str, shard_count: int) -> TableShard:
         entries = max(8, self._result_entries_budget // max(shard_count, 1))
@@ -307,6 +320,13 @@ class BEASServer:
     @property
     def beas(self) -> "BEAS":
         return self._beas
+
+    @property
+    def router(self) -> ExecutorRouter:
+        """The learned executor router (consulted only by
+        ``routing="learned"`` requests; always constructed so its state
+        accumulates across routing-mode changes)."""
+        return self._router
 
     @property
     def database(self):
@@ -401,6 +421,7 @@ class BEASServer:
         use_result_cache: bool = True,
         executor: Optional[str] = None,
         result_reuse: str = "exact",
+        routing: str = "static",
     ) -> BEASResult:
         """One-shot execution through the serving caches (no prepare).
 
@@ -410,7 +431,9 @@ class BEASServer:
         selects the cache-matching policy: ``"exact"`` serves only
         presentation-equal fingerprints; ``"subsume"`` additionally
         answers from a cached bounded superset by re-filtering its rows
-        (:mod:`repro.bounded.subsume`).
+        (:mod:`repro.bounded.subsume`). ``routing="learned"`` hands the
+        mode choice for covered bounded plans to the online cost model
+        (:mod:`repro.engine.router`) instead of ``executor``.
         """
         statement, fingerprint, tables, parse_hit = self._frontend(query)
         return self._execute(
@@ -424,6 +447,7 @@ class BEASServer:
             parse_hit=parse_hit,
             executor=executor,
             result_reuse=result_reuse,
+            routing=routing,
         )
 
     def execute_prepared(
@@ -437,6 +461,7 @@ class BEASServer:
         use_result_cache: bool = True,
         executor: Optional[str] = None,
         result_reuse: str = "exact",
+        routing: str = "static",
     ) -> BEASResult:
         """Execute a prepared query (by handle or name) for one binding.
 
@@ -462,6 +487,7 @@ class BEASServer:
             executor=executor,
             rebind=self._rebind_request(prepared, bound),
             result_reuse=result_reuse,
+            routing=routing,
         )
 
     def check(
@@ -681,6 +707,7 @@ class BEASServer:
             schema_lock=replace(self._schema_lock.stats),
             admission_declines=declines,
             pool=self._beas.pool_stats(),
+            routing=self._router.stats(),
         )
 
     def reset_caches(self) -> None:
@@ -826,12 +853,18 @@ class BEASServer:
         executor: Optional[str] = None,
         rebind: Optional[_RebindRequest] = None,
         result_reuse: str = "exact",
+        routing: str = "static",
     ) -> BEASResult:
         if executor is not None:
             # fail on a bad per-query mode here, before any lock is taken
             # or the bounded pipeline is entered
             resolve_executor_mode(executor)
         validate_result_reuse(result_reuse)
+        validate_routing(routing)
+        # wall-clock anchor for the serve paths that never execute (result
+        # cache, subsumption): their latency is what cost-aware admission
+        # weighs re-execution against, so it must be real, not 0.0
+        serve_start = time.perf_counter()
         with self._admin_lock:
             self._executions += 1
         hits = 1 if parse_hit else 0
@@ -865,6 +898,8 @@ class BEASServer:
                     executor=executor,
                     rebind=rebind,
                     result_reuse=result_reuse,
+                    routing=routing,
+                    serve_start=serve_start,
                 )
             finally:
                 release_read_ordered(shards)
@@ -889,7 +924,11 @@ class BEASServer:
         executor: Optional[str] = None,
         rebind: Optional[_RebindRequest] = None,
         result_reuse: str = "exact",
+        routing: str = "static",
+        serve_start: Optional[float] = None,
     ) -> BEASResult:
+        if serve_start is None:
+            serve_start = time.perf_counter()
         # the consistent table-version vector this request observes: read
         # under the shard read locks, so no dependency can move under us
         versions: dict[str, int] = {}
@@ -916,8 +955,11 @@ class BEASServer:
             if entry is not None and self._entry_fresh(
                 entry, versions, generation
             ):
+                serve_seconds = time.perf_counter() - serve_start
+                self._router.note_lookup(serve_seconds)
                 metrics = ExecutionMetrics(
                     rows_output=len(entry.rows),
+                    seconds=serve_seconds,
                     served_from_cache=True,
                     cache_hits=hits + 1,
                     cache_misses=misses,
@@ -947,6 +989,7 @@ class BEASServer:
                     hits=hits,
                     misses=misses,
                     lock_wait=lock_wait,
+                    serve_start=serve_start,
                 )
                 if served is not None:
                     return served
@@ -959,6 +1002,32 @@ class BEASServer:
         misses += 0 if decision_hit else 1
         decision = self._with_budget(decision, budget)
 
+        # learned routing: pick the execution mode for this covered
+        # bounded plan from the per-template cost model. The choice is
+        # made (and trained) per *template* fingerprint, so every
+        # binding of one prepared query shares a model; answers are
+        # mode-independent, so a wrong prediction costs latency only.
+        route_choice = None
+        features: Optional[tuple[float, ...]] = None
+        template_fp = (
+            rebind.template_fingerprint if rebind is not None else fingerprint
+        )
+        if (
+            routing == "learned"
+            and decision.covered
+            and isinstance(decision.plan, BoundedPlan)
+            and (budget is None or decision.within_budget)
+        ):
+            features = routing_features(
+                decision.plan,
+                # scoped to the locked dependency tables: never scans
+                # (or races with) tables this request did not lock
+                self._beas._host.statistics(tables=frozenset(tables)),
+                rows_per_batch=self._beas._rows_per_batch,
+                parallelism=self._beas.parallelism,
+            )
+            route_choice = self._router.route(template_fp, features)
+
         result = self._beas._execute_decided(
             statement,
             decision,
@@ -966,12 +1035,30 @@ class BEASServer:
             allow_partial=allow_partial,
             approximate_over_budget=approximate_over_budget,
             executor=executor,
+            route=route_choice.route if route_choice is not None else None,
         )
         result.metrics.cache_hits += hits
         result.metrics.cache_misses += misses
         result.metrics.lock_wait_seconds += lock_wait
         result.metrics.table_versions = dict(versions)
         result.metrics.decision_provenance = provenance
+        if route_choice is not None and result.mode is ExecutionMode.BOUNDED:
+            result.metrics.routed_mode = route_choice.route
+            result.metrics.routing_explored = route_choice.explored
+            self._router.observe(
+                template_fp, route_choice.route, features, result.metrics
+            )
+
+        if (
+            routing == "learned"
+            and use_result_cache
+            and result.mode is ExecutionMode.BOUNDED
+            and not self._router.should_admit(result.metrics.seconds)
+        ):
+            # cost-aware admission: re-executing this answer is already
+            # as cheap as a cache lookup, so keep it from displacing
+            # entries whose re-execution is expensive
+            use_result_cache = False
 
         if use_result_cache and result.mode is not ExecutionMode.APPROXIMATE:
             summary: Optional[QuerySummary] = None
@@ -1041,6 +1128,7 @@ class BEASServer:
         hits: int,
         misses: int,
         lock_wait: float,
+        serve_start: Optional[float] = None,
     ) -> Optional[BEASResult]:
         """Try to answer from a cached bounded superset after an exact
         result-cache miss. Returns the subsumed result, or ``None`` to
@@ -1095,8 +1183,17 @@ class BEASServer:
                 continue
             with self._admin_lock:
                 self._subsumed_hits += 1
+            serve_seconds = (
+                time.perf_counter() - serve_start
+                if serve_start is not None
+                else 0.0
+            )
+            # a subsumed serve is lookup + refilter: exactly the cost
+            # cost-aware admission weighs re-execution against
+            self._router.note_lookup(serve_seconds)
             metrics = ExecutionMetrics(
                 rows_output=len(rows),
+                seconds=serve_seconds,
                 served_from_cache=True,
                 cache_hits=hits + 1,
                 cache_misses=misses,

@@ -48,6 +48,20 @@ class TestValidators:
         with pytest.raises(BEASError, match="result_reuse"):
             config.validate_result_reuse("fuzzy")
 
+    def test_routing(self):
+        for mode in ("static", "learned"):
+            assert config.validate_routing(mode) == mode
+        with pytest.raises(BEASError, match="routing"):
+            config.validate_routing("oracle")
+
+    def test_routing_epsilon(self):
+        assert config.validate_routing_epsilon(0.0) == 0.0
+        assert config.validate_routing_epsilon(1.0) == 1.0
+        assert config.validate_routing_epsilon(0.25) == 0.25
+        for bad in (-0.1, 1.5, True, "0.1", None):
+            with pytest.raises(BEASError):
+                config.validate_routing_epsilon(bad)
+
 
 class TestEnvironmentReaders:
     def test_unset_is_none(self, monkeypatch):
@@ -57,6 +71,8 @@ class TestEnvironmentReaders:
             "BEAS_PARALLELISM",
             "BEAS_POOL_START_METHOD",
             "BEAS_RESULT_REUSE",
+            "BEAS_ROUTING",
+            "BEAS_ROUTING_EPSILON",
         ):
             monkeypatch.delenv(name, raising=False)
         assert config.env_executor() is None
@@ -64,6 +80,8 @@ class TestEnvironmentReaders:
         assert config.env_parallelism() is None
         assert config.env_pool_start_method() is None
         assert config.env_result_reuse() is None
+        assert config.env_routing() is None
+        assert config.env_routing_epsilon() is None
 
     def test_values_round_trip(self, monkeypatch):
         monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
@@ -83,6 +101,10 @@ class TestEnvironmentReaders:
             ("BEAS_PARALLELISM", "-1", ">= 1"),
             ("BEAS_POOL_START_METHOD", "teleport", "BEAS_POOL_START_METHOD"),
             ("BEAS_RESULT_REUSE", "fuzzy", "BEAS_RESULT_REUSE"),
+            ("BEAS_ROUTING", "oracle", "BEAS_ROUTING"),
+            ("BEAS_ROUTING_EPSILON", "greedy", "float"),
+            ("BEAS_ROUTING_EPSILON", "1.5", r"\[0, 1\]"),
+            ("BEAS_ROUTING_EPSILON", "-0.1", r"\[0, 1\]"),
             ("BEAS_FUZZ_SEEDS", "many", "integer"),
             ("BEAS_FUZZ_SEEDS", "0", ">= 1"),
         ],
@@ -111,6 +133,16 @@ class TestEnvironmentReaders:
         monkeypatch.setenv("BEAS_RESULT_REUSE", "exact")
         assert config.env_result_reuse() == "exact"
 
+    def test_routing_round_trip(self, monkeypatch):
+        monkeypatch.setenv("BEAS_ROUTING", "learned")
+        assert config.env_routing() == "learned"
+        monkeypatch.setenv("BEAS_ROUTING", "static")
+        assert config.env_routing() == "static"
+        monkeypatch.setenv("BEAS_ROUTING_EPSILON", "0.35")
+        assert config.env_routing_epsilon() == 0.35
+        monkeypatch.setenv("BEAS_ROUTING_EPSILON", "0")
+        assert config.env_routing_epsilon() == 0.0
+
 
 class TestEnvConfig:
     def test_load_snapshot(self, monkeypatch):
@@ -120,13 +152,17 @@ class TestEnvConfig:
         monkeypatch.delenv("BEAS_POOL_START_METHOD", raising=False)
         monkeypatch.delenv("BEAS_RESULT_REUSE", raising=False)
         monkeypatch.delenv("BEAS_FUZZ_SEEDS", raising=False)
+        monkeypatch.setenv("BEAS_ROUTING", "learned")
+        monkeypatch.delenv("BEAS_ROUTING_EPSILON", raising=False)
         snapshot = load_env_config()
         assert snapshot == EnvConfig(
-            executor="columnar", parallelism=2, fuzz_seeds=8
+            executor="columnar", parallelism=2, routing="learned", fuzz_seeds=8
         )
         text = snapshot.describe()
         assert "BEAS_EXECUTOR=columnar" in text
         assert "BEAS_ROWS_PER_BATCH=(unset)" in text
+        assert "BEAS_ROUTING=learned" in text
+        assert "BEAS_ROUTING_EPSILON=(unset)" in text
 
     def test_engine_resolvers_delegate(self, monkeypatch):
         """The historical resolver entry points must honour the central

@@ -102,6 +102,17 @@ class TestExamples:
         assert "workers alive" in proc.stdout
         assert "pool closed" in proc.stdout
 
+    def test_adaptive_routing(self):
+        proc = run_example("adaptive_routing.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "learned routing over one serving mix" in proc.stdout
+        assert "routing: decisions=12" in proc.stdout
+        assert "static override: routed_mode=''" in proc.stdout
+        assert (
+            "answers identical under learned and static routing"
+            in proc.stdout
+        )
+
     def test_async_serving(self):
         proc = run_example("async_serving.py")
         assert proc.returncode == 0, proc.stderr

@@ -111,6 +111,9 @@ def test_worker_death_mid_task_falls_back_and_respawns(workload, dispatch):
         result = executor.execute(plan)
         assert result.rows == oracle.rows
         assert result.metrics.tuples_fetched == oracle.metrics.tuples_fetched
+        # the outcome is attributed as a (partly) serial run: the router
+        # must never learn pooled-mode costs from it
+        assert result.metrics.pool_fallbacks >= 1
         stats = pool.stats()
         assert stats.worker_deaths == 1
         assert stats.respawns == 1
@@ -159,6 +162,9 @@ def test_silently_stale_worker_snapshot_is_detected_and_retried(workload):
         pool.debug("set_snapshot_key", ("bogus", "generation"))
         result = executor.execute(plan)
         assert result.rows == oracle.rows
+        # the stale snapshot was re-shipped and the task retried on the
+        # worker — a genuinely pooled run, not a fallback
+        assert result.metrics.pool_fallbacks == 0
         stats = pool.stats()
         assert stats.stale_retries >= 1
         assert stats.snapshots_sent >= 2  # the snapshot was re-sent
@@ -200,13 +206,17 @@ def test_pool_exhaustion_falls_back_in_process(workload):
             result = executor.execute(plan)
             assert result.rows == oracle.rows
             assert result.metrics.pool_batches == 0  # everything ran local
+            assert result.metrics.pool_fallbacks >= 1  # attributed as serial
             stats = pool.stats()
             assert stats.exhaustion_fallbacks >= 1
             assert stats.plans_dispatched == 0
         finally:
             pool.release(busy)
-        # once the worker is back, dispatch resumes
-        assert executor.execute(plan).rows == oracle.rows
+        # once the worker is back, dispatch resumes — and the clean
+        # pooled run carries no fallback attribution
+        resumed = executor.execute(plan)
+        assert resumed.rows == oracle.rows
+        assert resumed.metrics.pool_fallbacks == 0
         assert pool.stats().plans_dispatched == 1
 
 
@@ -221,6 +231,9 @@ def test_closed_pool_falls_back(workload):
     result = executor.execute(plan)
     assert result.rows == oracle.rows
     assert result.metrics.pool_batches == 0
+    # a closed pool means no pooled dispatch was ever *attempted*, so
+    # nothing to attribute: this is an ordinary serial execution
+    assert result.metrics.pool_fallbacks == 0
 
 
 # --------------------------------------------------------------------------- #
@@ -290,3 +303,31 @@ def test_serving_layer_survives_worker_chaos(workload):
         assert stats is not None and stats.alive == 2
     finally:
         beas.close()
+
+
+def test_router_never_trains_pooled_models_on_fallbacks(workload):
+    """A pooled execution that fell back in-process (ExecutionMetrics
+    .pool_fallbacks > 0) is skipped by ExecutorRouter.observe — the
+    pooled cost model must not learn from serial latencies."""
+    from repro.engine.metrics import ExecutionMetrics
+    from repro.engine.router import ExecutorRouter, routing_features
+
+    db, access, sql = workload
+    beas = BEAS(db, access, parallelism=1)
+    plan = beas.check(sql).plan
+    features = routing_features(
+        plan, {}, rows_per_batch=4, parallelism=2
+    )
+    router = ExecutorRouter(parallelism=2)
+    fallback = ExecutionMetrics(seconds=0.5, pool_fallbacks=1)
+    clean = ExecutionMetrics(seconds=0.5)
+    router.observe("fp", "pooled-plan", features, fallback)
+    router.observe("fp", "pooled-batch", features, fallback)
+    assert router.stats().observations == 0
+    assert router.stats().fallback_skips == 2
+    # serial routes train regardless (a serial run IS a serial cost),
+    # and clean pooled runs train normally
+    router.observe("fp", "row", features, fallback)
+    router.observe("fp", "pooled-plan", features, clean)
+    assert router.stats().observations == 2
+    assert router.stats().fallback_skips == 2

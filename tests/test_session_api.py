@@ -263,6 +263,9 @@ class TestOptionsChain:
 
     def test_environment_is_the_last_layer(self, monkeypatch):
         monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
+        # an ambient BEAS_ROUTING=learned would reroute per query; this
+        # test observes the static env executor layer specifically
+        monkeypatch.delenv("BEAS_ROUTING", raising=False)
         with Session(example1_database(), example1_access_schema()) as s:
             assert s.options.executor == "columnar"
             result = s.query(CALL_SQL).run(use_result_cache=False)
