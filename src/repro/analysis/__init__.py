@@ -1,0 +1,55 @@
+"""beaslint — the house static-analysis pass.
+
+Every soundness bug this repo has shipped belongs to a small set of
+recurring classes: unguarded NULL/3VL comparisons (PRs 3, 6, 7),
+metrics-accounting holes like a hardcoded ``seconds=0.0`` (PR 7),
+missing version-vector/generation guards on cache serves (PR 6), and
+lock-order / env-validation discipline (PRs 2, 5). ``beaslint`` turns
+those invariants into machine-checked rules instead of test-only
+folklore — the same move the symbolic query-equivalence line makes for
+semantic soundness (see ``docs/invariants.md`` for the catalogue).
+
+Usage::
+
+    python -m repro.cli lint [--format text|json] [--rule RULE ...]
+
+or programmatically::
+
+    from repro.analysis import run_lint
+    report = run_lint()          # lints the whole repro package
+    assert not report.findings
+
+Findings are suppressed per site with a justified marker::
+
+    risky_call()  # beaslint: ok(rule-name) - why this site is sound
+
+A suppression without a reason is itself a finding.
+"""
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    LintReport,
+    ModuleContext,
+    all_checkers,
+    lint_source,
+    register,
+    run_lint,
+)
+from repro.analysis.reporters import render_json, render_text
+
+# importing the package registers every house checker
+from repro.analysis import checkers as _checkers  # noqa: F401  (registration)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "all_checkers",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

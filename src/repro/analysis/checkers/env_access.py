@@ -1,0 +1,61 @@
+"""env-access: all BEAS_* environment reads live in repro/config.py.
+
+The bug class (PR 5): knobs read ad hoc from ``os.environ`` scattered
+across modules drifted out of sync with the validated `ExecutionOptions`
+chain — a typo'd variable silently fell back to a default instead of
+raising. `repro/config.py` centralises every environment read behind
+validation; any other ``os.environ`` / ``os.getenv`` access bypasses it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, ModuleContext, register
+
+_ENV_NAMES = frozenset({"environ", "getenv"})
+
+
+@register
+class EnvAccessChecker(Checker):
+    rule = "env-access"
+    description = (
+        "os.environ/os.getenv reads belong in repro/config.py's validated "
+        "accessors, nowhere else"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath != "config.py"
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                if (
+                    node.attr in _ENV_NAMES
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "os"
+                ):
+                    findings.append(
+                        module.finding(
+                            self.rule,
+                            node,
+                            f"`os.{node.attr}` outside repro/config.py — "
+                            f"read knobs through the validated config "
+                            f"accessors instead",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "os":
+                    for alias in node.names:
+                        if alias.name in _ENV_NAMES:
+                            findings.append(
+                                module.finding(
+                                    self.rule,
+                                    node,
+                                    f"`from os import {alias.name}` outside "
+                                    f"repro/config.py — read knobs through "
+                                    f"the validated config accessors instead",
+                                )
+                            )
+        return findings

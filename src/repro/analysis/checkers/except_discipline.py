@@ -1,0 +1,64 @@
+"""except-discipline: broad excepts need a spelled-out justification.
+
+The bug class: ``except Exception: pass`` swallowed a real soundness
+error more than once during review (a dropped table mid-batch, a
+compile failure silently degrading a subsumption probe). Broad catches
+are sometimes right — worker-pool fallback boundaries, ``__del__`` —
+but the *reason* must be on the line, either as
+``# noqa: BLE001 - <reason>`` or a
+``# beaslint: ok(except-discipline) - <reason>`` marker. Anything
+narrower than ``Exception``/``BaseException`` passes unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Checker, Finding, ModuleContext, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_NOQA_REASON_RE = re.compile(r"noqa:\s*BLE001\s*-\s*\S")
+
+
+def _is_broad(handler_type: ast.AST) -> bool:
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(element) for element in handler_type.elts)
+    return False
+
+
+@register
+class ExceptDisciplineChecker(Checker):
+    rule = "except-discipline"
+    description = (
+        "broad `except Exception`/bare `except` requires an on-line "
+        "justification (`# noqa: BLE001 - reason` or a beaslint marker)"
+    )
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is not None and not _is_broad(node.type):
+                continue
+            line = ""
+            if 1 <= node.lineno <= len(module.lines):
+                line = module.lines[node.lineno - 1]
+            if _NOQA_REASON_RE.search(line):
+                continue
+            shape = "bare `except:`" if node.type is None else (
+                f"broad `except {ast.unparse(node.type)}`"
+            )
+            findings.append(
+                module.finding(
+                    self.rule,
+                    node,
+                    f"{shape} without a justification — narrow the type, or "
+                    f"state the reason with `# noqa: BLE001 - <reason>` or "
+                    f"`# beaslint: ok(except-discipline) - <reason>`",
+                )
+            )
+        return findings

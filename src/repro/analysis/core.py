@@ -1,0 +1,306 @@
+"""beaslint core: findings, suppressions, the checker registry, the runner.
+
+A *checker* encodes one house invariant as an AST pass over a single
+module. Checkers are registered via :func:`register` and run by
+:func:`run_lint` over every ``*.py`` file of the ``repro`` package (or
+an explicit file list). Each checker names the rule it enforces; a rule
+can be suppressed at one site with a justified marker::
+
+    something_flagged()  # beaslint: ok(rule-name) - the reason it is sound
+
+The marker *requires* a reason after `` - `` — a bare ``ok(rule)`` is
+reported as a malformed suppression (rule ``suppression``), as is one
+naming a rule no checker registers. A comment-only marker line
+suppresses findings on the line directly below it; a trailing marker
+suppresses findings on its own line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+#: rule id used for malformed/unknown suppression markers themselves
+SUPPRESSION_RULE = "suppression"
+
+_SUPPRESS_RE = re.compile(r"#\s*beaslint:\s*ok\(([^)]*)\)(.*)$")
+_REASON_RE = re.compile(r"^\s*-\s*\S")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # as given to the runner (repo-relative for package runs)
+    line: int
+    column: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    """A parsed ``beaslint: ok(...)`` marker."""
+
+    rules: frozenset[str]
+    lines: frozenset[int]  # finding lines this marker covers
+    marker_line: int
+
+
+class ModuleContext:
+    """One module under analysis: source, AST, suppressions, helpers."""
+
+    def __init__(self, source: str, relpath: str, path: Optional[str] = None):
+        self.source = source
+        #: path relative to the ``repro`` package root (posix separators);
+        #: checkers scope themselves by this (e.g. ``"serving/server.py"``)
+        self.relpath = relpath.replace("\\", "/")
+        #: display path used in findings
+        self.path = path if path is not None else relpath
+        self.tree = ast.parse(source)
+        self.lines = source.splitlines()
+        self.suppressions: list[_Suppression] = []
+        self.suppression_findings: list[Finding] = []
+        self._parents: Optional[dict[ast.AST, ast.AST]] = None
+        self._parse_suppressions()
+
+    # ------------------------------------------------------------------ #
+    def _iter_comments(self) -> list[tuple[int, int, str]]:
+        """(line, column, text) of every real comment token.
+
+        Tokenizing (rather than regex over raw lines) keeps markers in
+        string literals and docstrings from parsing as suppressions.
+        """
+        out: list[tuple[int, int, str]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    out.append((token.start[0], token.start[1], token.string))
+        except tokenize.TokenError:  # pragma: no cover - ast.parse already passed
+            pass
+        return out
+
+    def _parse_suppressions(self) -> None:
+        for number, column, text in self._iter_comments():
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if not rules or not _REASON_RE.match(match.group(2)):
+                self.suppression_findings.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE,
+                        path=self.path,
+                        line=number,
+                        column=column + match.start() + 1,
+                        message=(
+                            "malformed suppression: expected "
+                            "`# beaslint: ok(<rule>) - <reason>` with a "
+                            "non-empty reason"
+                        ),
+                    )
+                )
+                continue
+            comment_only = self.lines[number - 1][:column].strip() == ""
+            covered = {number + 1} if comment_only else {number}
+            self.suppressions.append(
+                _Suppression(
+                    rules=rules, lines=frozenset(covered), marker_line=number
+                )
+            )
+
+    def suppressed(self, finding: Finding) -> bool:
+        return any(
+            finding.rule in s.rules and finding.line in s.lines
+            for s in self.suppressions
+        )
+
+    def unknown_rule_findings(self, known: frozenset[str]) -> list[Finding]:
+        out: list[Finding] = []
+        for marker in self.suppressions:
+            for rule in sorted(marker.rules - known):
+                out.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE,
+                        path=self.path,
+                        line=marker.marker_line,
+                        column=1,
+                        message=f"suppression names unknown rule {rule!r}",
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------ #
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """child node -> parent node, for upward walks."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# checkers + registry
+# --------------------------------------------------------------------------- #
+class Checker:
+    """Base class: one rule, one AST pass per module."""
+
+    #: rule id, kebab-case; used in reports and suppression markers
+    rule: str = ""
+    #: one-line description for ``lint --list-rules`` and the docs
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check(self, module: ModuleContext) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def register(checker_class: type) -> type:
+    """Class decorator: instantiate and register one checker."""
+    checker = checker_class()
+    if not checker.rule:
+        raise ValueError(f"{checker_class.__name__} declares no rule id")
+    if checker.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker for rule {checker.rule!r}")
+    _REGISTRY[checker.rule] = checker
+    return checker_class
+
+
+def all_checkers() -> dict[str, Checker]:
+    """rule id -> checker instance, registration order preserved."""
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def package_root() -> Path:
+    """The ``repro`` package directory (the default lint target)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_source_files(root: Optional[Path] = None) -> list[Path]:
+    base = root if root is not None else package_root()
+    return sorted(base.rglob("*.py"))
+
+
+def _select(rules: Optional[Sequence[str]]) -> list[Checker]:
+    registry = all_checkers()
+    if rules is None:
+        return list(registry.values())
+    selected: list[Checker] = []
+    for rule in rules:
+        if rule not in registry:
+            raise KeyError(
+                f"unknown rule {rule!r}; known: {', '.join(sorted(registry))}"
+            )
+        selected.append(registry[rule])
+    return selected
+
+
+def _lint_module(
+    module: ModuleContext, checkers: Iterable[Checker], report: LintReport
+) -> None:
+    known = frozenset(all_checkers()) | {SUPPRESSION_RULE}
+    produced = list(module.suppression_findings)
+    produced.extend(module.unknown_rule_findings(known))
+    for checker in checkers:
+        if not checker.applies_to(module.relpath):
+            continue
+        produced.extend(checker.check(module))
+    for finding in produced:
+        if module.suppressed(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint ``paths`` (default: every module of the ``repro`` package).
+
+    ``root`` anchors the checker-scoping relpaths; files outside it are
+    scoped by their bare filename. Findings are sorted by location.
+    """
+    base = root if root is not None else package_root()
+    targets = list(paths) if paths is not None else iter_source_files(base)
+    checkers = _select(rules)
+    report = LintReport(rules=[c.rule for c in checkers])
+    for target in targets:
+        target = Path(target)
+        try:
+            relpath = target.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            relpath = target.name
+        module = ModuleContext(
+            target.read_text(encoding="utf-8"), relpath, path=str(target)
+        )
+        _lint_module(module, checkers, report)
+        report.files_checked += 1
+    key: Callable[[Finding], tuple] = lambda f: (f.path, f.line, f.column, f.rule)
+    report.findings.sort(key=key)
+    report.suppressed.sort(key=key)
+    return report
+
+
+def lint_source(
+    source: str, relpath: str, *, rules: Optional[Sequence[str]] = None
+) -> LintReport:
+    """Lint one in-memory module (the fixture-test entry point).
+
+    ``relpath`` plays the package-relative path used for checker
+    scoping, e.g. ``"engine/expressions.py"`` to opt a snippet into the
+    predicate-evaluation rules.
+    """
+    module = ModuleContext(source, relpath)
+    report = LintReport(rules=[c.rule for c in _select(rules)])
+    _lint_module(module, _select(rules), report)
+    report.files_checked = 1
+    return report

@@ -1,0 +1,54 @@
+"""beaslint output renderers: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import LintReport, all_checkers
+
+
+def render_text(report: LintReport) -> str:
+    """The human report: one line per finding, then a summary line."""
+    lines = [finding.render() for finding in report.findings]
+    summary = (
+        f"beaslint: {len(report.findings)} finding"
+        f"{'' if len(report.findings) == 1 else 's'} "
+        f"({len(report.suppressed)} suppressed) across "
+        f"{report.files_checked} files, rules: {', '.join(report.rules)}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The CI report: stable keys, findings sorted by location."""
+    checkers = all_checkers()
+    payload = {
+        "files_checked": report.files_checked,
+        "rules": {
+            rule: checkers[rule].description
+            for rule in report.rules
+            if rule in checkers
+        },
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "column": f.column,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+        "suppressed": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in report.suppressed
+        ],
+        "clean": report.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -184,7 +184,7 @@ class BEAS:
                 if pool is None or pool.closed:
                     try:
                         pool = EnginePool(self.parallelism)
-                    except Exception as error:
+                    except Exception as error:  # beaslint: ok(except-discipline) - any spawn failure (fork limits, pickling, OS) degrades to in-process execution
                         self._pool_spawn_error = error
                         self._pool = None
                         return None
@@ -230,6 +230,7 @@ class BEAS:
         if pool is not None:
             try:
                 pool.close()
+            # beaslint: ok(except-discipline) - half-spawned pool: close() is best effort on shutdown
             except Exception:  # pragma: no cover - half-spawned pool
                 pass
 

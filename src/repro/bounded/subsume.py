@@ -63,6 +63,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, Hashable, Iterable, Optional
 
+from repro.errors import ExecutionError
 from repro.sql import ast
 from repro.sql.fingerprint import canonical_statement
 from repro.sql.printer import expression_to_sql, to_sql
@@ -476,6 +477,7 @@ def _classify_conjunct(conjunct: ast.Expression):
             op = flipped.get(op, op)
         if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
             value = right.value
+            # beaslint: ok(null-guard) - op is a parser operator token ("=", "<", ...), never a row value
             if op == "=":
                 if value is None:
                     return "null-constant"
@@ -670,7 +672,7 @@ def apply_refilter(
                     return None
             try:
                 evaluator = compile_expression(expr, layout)
-            except Exception:
+            except ExecutionError:
                 return None  # outside the compilable fragment: refuse
             checks.append(
                 lambda row, e=evaluator: e(row) is True

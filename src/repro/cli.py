@@ -207,6 +207,26 @@ def _parse_params(raw: Optional[Sequence[str]], slots) -> dict:
     return params
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # lazy import: the analysis package is never needed on the query path
+    from pathlib import Path
+
+    from repro.analysis import all_checkers, render_json, render_text, run_lint
+
+    if args.list_rules:
+        for rule, checker in sorted(all_checkers().items()):
+            print(f"{rule}: {checker.description}")
+        return 0
+    paths = [Path(p) for p in args.paths] or None
+    try:
+        report = run_lint(paths, rules=args.rule or None)
+    except KeyError as error:
+        raise ReproError(error.args[0]) from None
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    print(rendered)
+    return 0 if report.clean else 1
+
+
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     # shuts pool workers down even when the run errors (Session.close)
     with _build_session(args, sharded=not args.baseline) as session:
@@ -436,6 +456,34 @@ def build_parser() -> argparse.ArgumentParser:
         "default: BEAS_ROUTING or static)",
     )
     serve_stats.set_defaults(handler=_cmd_serve_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="beaslint: run the house static-analysis pass over repro",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files to lint (default: every module of the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        help="run only this rule (repeatable; default: all registered rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="list registered rules with descriptions and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -80,7 +80,7 @@ def validate_executor(mode: str, *, source: str = "executor") -> str:
     return mode
 
 
-def _validate_positive_int(value, source: str) -> int:
+def _validate_positive_int(value: object, source: str) -> int:
     if not isinstance(value, int) or isinstance(value, bool):
         raise BEASError(
             f"{source} must be an int, got {type(value).__name__} ({value!r})"
@@ -90,11 +90,11 @@ def _validate_positive_int(value, source: str) -> int:
     return value
 
 
-def validate_rows_per_batch(value, *, source: str = "rows_per_batch") -> int:
+def validate_rows_per_batch(value: object, *, source: str = "rows_per_batch") -> int:
     return _validate_positive_int(value, source)
 
 
-def validate_parallelism(value, *, source: str = "parallelism") -> int:
+def validate_parallelism(value: object, *, source: str = "parallelism") -> int:
     return _validate_positive_int(value, source)
 
 
@@ -125,15 +125,17 @@ def validate_routing(mode: str, *, source: str = "routing") -> str:
     return mode
 
 
-def validate_routing_epsilon(value, *, source: str = "routing epsilon") -> float:
+def validate_routing_epsilon(
+    value: object, *, source: str = "routing epsilon"
+) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise BEASError(
             f"{source} must be a float, got {type(value).__name__} ({value!r})"
         )
-    value = float(value)
-    if not 0.0 <= value <= 1.0:
-        raise BEASError(f"{source} must be in [0, 1], got {value}")
-    return value
+    epsilon = float(value)
+    if not 0.0 <= epsilon <= 1.0:
+        raise BEASError(f"{source} must be in [0, 1], got {epsilon}")
+    return epsilon
 
 
 def _env_int(name: str) -> Optional[int]:

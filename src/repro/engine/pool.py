@@ -348,7 +348,7 @@ def _run_fetch_task(indexes: dict, task: tuple):  # pragma: no cover - subproces
         return ("chunks", results)
     except ReproError as error:
         return ("raise", error)
-    except Exception as error:  # noqa: BLE001
+    except Exception as error:  # noqa: BLE001 - worker boundary: any failure reports "unsupported" and the parent re-runs in-process
         return ("unsupported", repr(error))
 
 
@@ -529,7 +529,7 @@ class EnginePool:
         try:
             if not self._closed:
                 self.close()
-        except Exception:
+        except Exception:  # beaslint: ok(except-discipline) - GC-time best effort; __del__ must never raise
             pass
 
     # ------------------------------------------------------------------ #

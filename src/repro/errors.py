@@ -8,6 +8,11 @@ core.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # import only for annotations: errors must stay leaf-level
+    from repro.access.conformance import Violation
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -20,7 +25,7 @@ class SQLError(ReproError):
 class LexerError(SQLError):
     """Raised when the lexer encounters an invalid character or literal."""
 
-    def __init__(self, message: str, position: int, line: int, column: int):
+    def __init__(self, message: str, position: int, line: int, column: int) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
         self.position = position
         self.line = line
@@ -30,7 +35,7 @@ class LexerError(SQLError):
 class ParseError(SQLError):
     """Raised when the parser cannot derive a statement from the tokens."""
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         location = f" (line {line}, column {column})" if line else ""
         super().__init__(f"{message}{location}")
         self.line = line
@@ -48,7 +53,7 @@ class CatalogError(ReproError):
 class UnknownTableError(CatalogError):
     """Raised when a referenced table does not exist."""
 
-    def __init__(self, table: str):
+    def __init__(self, table: str) -> None:
         super().__init__(f"unknown table: {table!r}")
         self.table = table
 
@@ -56,7 +61,7 @@ class UnknownTableError(CatalogError):
 class UnknownColumnError(CatalogError):
     """Raised when a referenced column does not exist."""
 
-    def __init__(self, column: str, table: str | None = None):
+    def __init__(self, column: str, table: Optional[str] = None) -> None:
         where = f" in table {table!r}" if table else ""
         super().__init__(f"unknown column: {column!r}{where}")
         self.column = column
@@ -66,7 +71,7 @@ class UnknownColumnError(CatalogError):
 class AmbiguousColumnError(CatalogError):
     """Raised when an unqualified column name matches several tables."""
 
-    def __init__(self, column: str, tables: list[str]):
+    def __init__(self, column: str, tables: Sequence[str]) -> None:
         super().__init__(
             f"ambiguous column {column!r}: present in {', '.join(sorted(tables))}"
         )
@@ -89,9 +94,11 @@ class AccessSchemaError(ReproError):
 class ConformanceError(AccessSchemaError):
     """Raised when a dataset violates an access constraint."""
 
-    def __init__(self, message: str, violations: list | None = None):
+    def __init__(
+        self, message: str, violations: Optional[Sequence["Violation"]] = None
+    ) -> None:
         super().__init__(message)
-        self.violations = violations or []
+        self.violations: list["Violation"] = list(violations or [])
 
 
 class BEASError(ReproError):
@@ -134,7 +141,7 @@ class NotCoveredError(PlanningError):
     check failed (one entry per uncovered occurrence or attribute).
     """
 
-    def __init__(self, message: str, reasons: list[str] | None = None):
+    def __init__(self, message: str, reasons: Optional[Sequence[str]] = None) -> None:
         super().__init__(message)
         self.reasons = list(reasons or [])
 
@@ -142,7 +149,7 @@ class NotCoveredError(PlanningError):
 class BudgetExceededError(PlanningError):
     """Raised when the deduced access bound exceeds the user's budget."""
 
-    def __init__(self, bound: int, budget: int):
+    def __init__(self, bound: int, budget: int) -> None:
         super().__init__(
             f"deduced access bound {bound} exceeds the budget of {budget} tuples"
         )
@@ -165,10 +172,10 @@ class ServingError(ReproError):
 class UnknownParameterError(ServingError):
     """A bind override names a slot the prepared template does not have."""
 
-    def __init__(self, name: str, known: list[str]):
+    def __init__(self, name: str, known: Sequence[str]) -> None:
         super().__init__(
             f"unknown parameter {name!r}; template slots: "
             f"{', '.join(known) or '(none)'}"
         )
         self.name = name
-        self.known = known
+        self.known = list(known)

@@ -68,7 +68,7 @@ from repro.engine.columnar import resolve_executor_mode
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.pool import PoolStats
 from repro.engine.router import ExecutorRouter, RouterStats, routing_features
-from repro.errors import ServingError
+from repro.errors import ServingError, UnknownTableError
 from repro.sql import ast
 from repro.sql.fingerprint import statement_fingerprint, statement_tables
 from repro.sql.parser import parse
@@ -574,6 +574,7 @@ class BEASServer:
             # raises UnknownTableError before any shard state is touched
             self._beas.database.table(table_name)
             shard = self.shard(table_name)
+            # beaslint: ok(lock-discipline) - single-shard maintenance write under the schema read lock; one shard is canonical by construction
             shard.lock.acquire_write()
             try:
                 try:
@@ -593,7 +594,7 @@ class BEASServer:
     def _after_table_write(self, table_name: str, shard: TableShard) -> None:
         try:
             version = self._beas.database.table(table_name).version
-        except Exception:  # pragma: no cover - table dropped mid-batch
+        except UnknownTableError:  # pragma: no cover - table dropped mid-batch
             version = shard.version + 1
         shard.note_maintenance(version)
         self._invalidate_dependents(table_name)

@@ -87,7 +87,8 @@ def canonical_expression(expr: ast.Expression) -> ast.Expression:
         return ast.UnaryOp(expr.op, canonical_expression(expr.operand))
     if isinstance(expr, ast.InList):
         items = tuple(canonical_expression(i) for i in expr.items)
-        if all(isinstance(i, ast.Literal) for i in items):
+        literals = [i for i in items if isinstance(i, ast.Literal)]
+        if len(literals) == len(items):
             # sort, then dedupe: membership is order- and
             # multiplicity-independent, so ``x IN (1, 1, 2)`` must share a
             # cache line with ``x IN (1, 2)``. The dedup key includes the
@@ -95,7 +96,7 @@ def canonical_expression(expr: ast.Expression) -> ast.Expression:
             deduped: list[ast.Literal] = []
             seen: set[tuple[str, str]] = set()
             for item in sorted(
-                items, key=lambda i: (str(type(i.value)), repr(i.value))
+                literals, key=lambda i: (str(type(i.value)), repr(i.value))
             ):
                 marker = (str(type(item.value)), repr(item.value))
                 if marker not in seen:
