@@ -107,6 +107,39 @@ class ASCatalog:
                     build_seconds=elapsed,
                 )
 
+    def install_index(
+        self,
+        constraint: AccessConstraint,
+        index: AccessIndex,
+        *,
+        build_seconds: float = 0.0,
+    ) -> AccessIndex:
+        """Install a pre-built index (a persisted segment the storage
+        engine mapped) without rebuilding from the base table.
+
+        Unlike :meth:`register` this does **not** bump the schema
+        generation — the caller (``MmapStore.try_load``) restores the
+        recorded generation afterwards, so snapshot keys and cached
+        decisions line up across a warm restart.
+        """
+        if constraint.name in self._indexes:
+            raise AccessSchemaError(
+                f"constraint {constraint.name!r} already registered"
+            )
+        if constraint.name not in self.schema:
+            self.schema.add(constraint)
+        self._indexes[constraint.name] = index
+        self._statistics[constraint.name] = IndexStatistics(
+            constraint_name=constraint.name,
+            relation=constraint.relation,
+            key_count=index.key_count,
+            entry_count=index.entry_count,
+            max_bucket_size=index.max_bucket_size,
+            storage_cells=index.storage_cells(),
+            build_seconds=build_seconds,
+        )
+        return index
+
     def unregister(self, name: str) -> None:
         """Drop a constraint and its index (user removal, paper §3(d)(ii))."""
         if name in self.schema:

@@ -17,6 +17,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from repro.access.constraint import AccessConstraint
 from repro.errors import AccessSchemaError, ConformanceError
+from repro.storage.codec import canonical_key, is_nan
 from repro.storage.table import Table
 
 Key = tuple
@@ -55,10 +56,14 @@ class AccessIndex:
         return self
 
     def _key_of(self, row: Sequence[Any]) -> Key:
-        return tuple(row[i] for i in self._x_positions)
+        # NaN components are canonicalised to one shared object so that
+        # bucket membership and support counts stay deterministic (dict
+        # identity short-circuit); see repro.storage.codec for the 3VL
+        # decision. Equality *lookups* still never match NaN (fetch).
+        return canonical_key(row[i] for i in self._x_positions)
 
     def _y_of(self, row: Sequence[Any]) -> YValue:
-        return tuple(row[i] for i in self._y_positions)
+        return canonical_key(row[i] for i in self._y_positions)
 
     def _add(self, row: Sequence[Any], *, validate: bool) -> None:
         key = self._key_of(row)
@@ -108,9 +113,12 @@ class AccessIndex:
         equality against NULL is UNKNOWN, not TRUE — even when base rows
         with NULL X-values exist (their buckets are maintained for
         storage accounting but are unreachable by equality lookup).
+        NaN components behave the same way: IEEE equality on NaN is
+        never TRUE, so a NaN-bearing key matches nothing even though
+        NaN rows keep canonicalised buckets for accounting.
         """
         key = tuple(key)
-        if None in key:
+        if any(part is None or is_nan(part) for part in key):
             return []
         bucket = self._buckets.get(key)
         if bucket is None:
@@ -129,7 +137,24 @@ class AccessIndex:
         return out
 
     def __contains__(self, key: Key) -> bool:
-        return tuple(key) in self._buckets
+        """Storage introspection (canonicalised), *not* equality lookup."""
+        return canonical_key(key) in self._buckets
+
+    def __setstate__(self, state: dict) -> None:
+        # NaN canonicalisation does not survive the pickle wire — every
+        # unpickled NaN is a fresh object — so buckets are re-canonicalised
+        # on arrival (the engine pool ships indices to workers pickled)
+        buckets = state.get("_buckets")
+        if buckets:
+            state = dict(state)
+            state["_buckets"] = {
+                canonical_key(key): {
+                    canonical_key(y_value): count
+                    for y_value, count in bucket.items()
+                }
+                for key, bucket in buckets.items()
+            }
+        self.__dict__.update(state)
 
     def keys(self) -> Iterator[Key]:
         return iter(self._buckets)

@@ -43,6 +43,48 @@ def schema_to_dict(schema: AccessSchema) -> dict:
     }
 
 
+def _attribute_list(entry: dict, field: str, i: int, *, required: bool) -> list:
+    """Validate an ``x``/``y`` attribute list: a list of strings."""
+    if field not in entry:
+        if not required:
+            return []
+        raise AccessSchemaError(
+            f"constraint entry #{i} is missing required field {field!r}: {entry!r}"
+        )
+    value = entry[field]
+    if isinstance(value, (str, bytes)) or not isinstance(value, list):
+        raise AccessSchemaError(
+            f"constraint entry #{i}: {field!r} must be a list of attribute "
+            f"names, got {value!r}"
+        )
+    for item in value:
+        if not isinstance(item, str):
+            raise AccessSchemaError(
+                f"constraint entry #{i}: {field!r} contains a non-string "
+                f"attribute {item!r}"
+            )
+    return value
+
+
+def _bound(entry: dict, i: int) -> int:
+    """Validate ``n``: an actual integer — not a bool, not a float.
+
+    ``int(entry["n"])`` used to run here, which silently truncated
+    ``500.9`` to 500 and accepted ``true`` as 1 — both corrupt the
+    catalog's conformance bound instead of failing the load.
+    """
+    if "n" not in entry:
+        raise AccessSchemaError(
+            f"constraint entry #{i} is missing required field 'n': {entry!r}"
+        )
+    n = entry["n"]
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise AccessSchemaError(
+            f"constraint entry #{i}: 'n' must be an integer, got {n!r}"
+        )
+    return n
+
+
 def schema_from_dict(data: dict) -> AccessSchema:
     """Rebuild an access schema from its dict form (validating shape)."""
     if not isinstance(data, dict) or "constraints" not in data:
@@ -50,17 +92,47 @@ def schema_from_dict(data: dict) -> AccessSchema:
             "access schema document must be an object with 'constraints'"
         )
     constraints = []
+    seen_names: dict[str, int] = {}
     for i, entry in enumerate(data["constraints"]):
+        if not isinstance(entry, dict):
+            raise AccessSchemaError(
+                f"constraint entry #{i} must be an object, got {entry!r}"
+            )
+        relation = entry.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise AccessSchemaError(
+                f"constraint entry #{i}: 'relation' must be a non-empty "
+                f"string, got {relation!r}"
+            )
+        name = entry.get("name")
+        if name is not None:
+            if not isinstance(name, str) or not name:
+                raise AccessSchemaError(
+                    f"constraint entry #{i}: 'name' must be a non-empty "
+                    f"string when given, got {name!r}"
+                )
+            if name in seen_names:
+                raise AccessSchemaError(
+                    f"constraint entry #{i}: duplicate constraint name "
+                    f"{name!r} (first used by entry #{seen_names[name]})"
+                )
+            seen_names[name] = i
         try:
             constraints.append(
                 AccessConstraint(
-                    relation=entry["relation"],
-                    x=entry.get("x", []),
-                    y=entry["y"],
-                    n=int(entry["n"]),
-                    name=entry.get("name"),
+                    relation=relation,
+                    x=_attribute_list(entry, "x", i, required=False),
+                    y=_attribute_list(entry, "y", i, required=True),
+                    n=_bound(entry, i),
+                    name=name,
                 )
             )
+        except AccessSchemaError as exc:
+            if str(exc).startswith("constraint entry #"):
+                raise
+            raise AccessSchemaError(
+                f"malformed constraint entry #{i}: {exc}"
+            ) from exc
         except (KeyError, TypeError) as exc:
             raise AccessSchemaError(
                 f"malformed constraint entry #{i}: {entry!r}"

@@ -7,4 +7,5 @@ from repro.analysis.checkers import (  # noqa: F401  (registration imports)
     lock_discipline,
     metrics_accounting,
     null_guard,
+    storage_codec,
 )

@@ -1,0 +1,52 @@
+"""storage-codec: value coding on storage boundaries lives in codec.py.
+
+The bug class (PR 9): every serialization boundary that invented its own
+value-to-text coding drifted from the others — CSV round-trips lost the
+distinction between NULL and the empty string, a pickled snapshot wire
+minted fresh NaN objects that failed bucket-identity accounting, and
+float cells printed through ``str`` stopped round-tripping at 17
+significant digits.  ``repro/storage/codec.py`` now owns the one
+canonical codec (:func:`~repro.storage.codec.encode_value` /
+:func:`~repro.storage.codec.decode_value` and the NaN canonicalisation
+family); any ad-hoc ``float(...)`` parse or ``repr(...)`` print inside
+the other storage modules is a second, divergent codec waiting to
+happen and is flagged here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, ModuleContext, register
+
+_CODING_CALLS = frozenset({"float", "repr"})
+
+
+@register
+class StorageCodecChecker(Checker):
+    rule = "storage-codec"
+    description = (
+        "ad-hoc float(...)/repr(...) value coding in storage modules "
+        "belongs in repro/storage/codec.py's canonical codec"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("storage/") and relpath != "storage/codec.py"
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _CODING_CALLS:
+                findings.append(
+                    module.finding(
+                        self.rule,
+                        node,
+                        f"`{func.id}(...)` in a storage module — encode/"
+                        f"decode values through repro.storage.codec so the "
+                        f"CSV, WAL, and mmap formats cannot drift apart",
+                    )
+                )
+        return findings

@@ -70,7 +70,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.serving.server import BEASServer, ServingStats
 
 #: Engine-level fields fixed when the Session builds its BEAS engine.
-_ENGINE_PINNED = ("rows_per_batch", "parallelism", "parallel_dispatch")
+_ENGINE_PINNED = (
+    "rows_per_batch",
+    "parallelism",
+    "parallel_dispatch",
+    "storage",
+    "storage_dir",
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -95,10 +101,16 @@ class ExecutionOptions:
     use_result_cache: Optional[bool] = None
     result_reuse: Optional[str] = None  # "exact" | "subsume"
     routing: Optional[str] = None  # "static" | "learned"
+    storage: Optional[str] = None  # "memory" | "mmap"
+    storage_dir: Optional[str] = None  # store directory (mmap only)
 
     def __post_init__(self) -> None:
         if self.executor is not None:
             config.validate_executor(self.executor)
+        if self.storage is not None:
+            config.validate_storage(self.storage)
+        if self.storage_dir is not None:
+            config.validate_storage_dir(self.storage_dir)
         if self.result_reuse is not None:
             config.validate_result_reuse(self.result_reuse)
         if self.routing is not None:
@@ -166,6 +178,8 @@ class ExecutionOptions:
             parallelism=config.env_parallelism(),
             result_reuse=config.env_result_reuse(),
             routing=config.env_routing(),
+            storage=config.env_storage(),
+            storage_dir=config.env_storage_dir(),
         )
 
     @staticmethod
@@ -182,6 +196,8 @@ class ExecutionOptions:
             use_result_cache=True,
             result_reuse="exact",
             routing="static",
+            storage="memory",
+            storage_dir=None,  # mmap without a dir owns a temp directory
         )
 
     def describe(self) -> str:
@@ -572,6 +588,8 @@ class Session:
                 rows_per_batch=beas._rows_per_batch,
                 parallelism=beas.parallelism,
                 parallel_dispatch=beas._parallel_dispatch,
+                storage=beas.storage,
+                storage_dir=beas.storage_dir,
             )
             self._check_engine_consistency(options, base)
             # the engine's pinned knobs are all set in `base`, so the
@@ -595,6 +613,14 @@ class Session:
                 rows_per_batch=resolved.rows_per_batch,
                 parallelism=resolved.parallelism,
                 parallel_dispatch=resolved.parallel_dispatch,
+                storage=resolved.storage,
+                # an ambient BEAS_STORAGE_DIR without mmap mode is inert,
+                # not an error — only mmap engines take a directory
+                storage_dir=(
+                    resolved.storage_dir
+                    if resolved.storage == "mmap"
+                    else None
+                ),
             )
             self._owns_engine = True
         self._server_ref: Optional["BEASServer"] = None

@@ -23,6 +23,8 @@ Typical use::
 from __future__ import annotations
 
 import dataclasses
+import shutil
+import tempfile
 import threading
 import warnings
 import weakref
@@ -34,12 +36,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.serving.prepared import PreparedQuery
     from repro.serving.server import BEASServer
 
+from repro import config
 from repro.access.catalog import ASCatalog
 from repro.access.constraint import AccessConstraint
 from repro.access.schema import AccessSchema
 from repro.errors import BEASDeprecationWarning, BEASError, BudgetExceededError
 from repro.sql import ast
 from repro.storage.database import Database
+from repro.storage.mmapstore import MmapStore, StorageStats
 from repro.engine.columnar import resolve_executor_mode, resolve_rows_per_batch
 from repro.engine.executor import ConventionalEngine
 from repro.engine.pool import (
@@ -82,6 +86,8 @@ class BEAS:
         rows_per_batch: Optional[int] = None,
         parallelism: Optional[int] = None,
         parallel_dispatch: Optional[str] = None,
+        storage: Optional[str] = None,
+        storage_dir: Optional[str] = None,
     ):
         """``executor`` selects the bounded pipeline's execution mode:
         ``"row"`` (tuple-at-a-time, the default) or ``"columnar"``
@@ -99,10 +105,59 @@ class BEAS:
         ``"auto"``). Pooled answers are identical to in-process ones —
         the pool only escapes the GIL; any pool failure falls back to
         in-process execution. All engine options are validated here and
-        raise :class:`~repro.errors.BEASError` when invalid."""
+        raise :class:`~repro.errors.BEASError` when invalid.
+
+        ``storage`` selects the storage engine: ``"memory"`` (the
+        default, process-local) or ``"mmap"``
+        (:class:`~repro.storage.mmapstore.MmapStore`: persisted index
+        segments, a write-ahead maintenance log, result-cache
+        persistence, and shared-memory pool snapshots); ``None`` defers
+        to ``BEAS_STORAGE``. ``storage_dir`` names the store directory
+        (``BEAS_STORAGE_DIR``); without one, an ``mmap`` instance owns a
+        temporary directory removed when it is collected — useful for
+        the shm snapshot wire, but obviously not a warm restart."""
         self.database = database
-        self.catalog = ASCatalog(database, access_schema)
         self.host_profile = host_profile
+        self.storage = (
+            config.validate_storage(storage)
+            if storage is not None
+            else (config.env_storage() or "memory")
+        )
+        self._store: Optional[MmapStore] = None
+        self.storage_dir: Optional[str] = None
+        if self.storage == "mmap":
+            directory = (
+                config.validate_storage_dir(storage_dir)
+                if storage_dir is not None
+                else config.env_storage_dir()
+            )
+            if directory is None:
+                directory = tempfile.mkdtemp(prefix="beas-store-")
+                weakref.finalize(
+                    self, shutil.rmtree, directory, ignore_errors=True
+                )
+            self.storage_dir = directory
+            store = MmapStore(directory)
+            weakref.finalize(self, MmapStore.close, store)
+            self._store = store
+            # warm path: install persisted segments into a fresh catalog
+            # and replay the WAL tail; any mismatch (different dataset,
+            # different schema, corruption) cold-rebuilds and checkpoints
+            catalog = ASCatalog(database)
+            if access_schema is not None:
+                catalog.schema = AccessSchema(name=access_schema.name)
+            if store.try_load(catalog, access_schema):
+                self.catalog = catalog
+            else:
+                self.catalog = ASCatalog(database, access_schema)
+                store.checkpoint(self.catalog)
+        else:
+            if storage_dir is not None:
+                raise BEASError(
+                    "storage_dir requires the mmap storage engine "
+                    "(storage='mmap' or BEAS_STORAGE=mmap)"
+                )
+            self.catalog = ASCatalog(database, access_schema)
         self._require_exact = require_exact_multiplicities
         self._dedup_keys = dedup_keys
         self.executor = resolve_executor_mode(executor)
@@ -183,7 +238,14 @@ class BEAS:
                 pool = self._pool
                 if pool is None or pool.closed:
                     try:
-                        pool = EnginePool(self.parallelism)
+                        exporter = (
+                            self._store.snapshot_exporter(self.catalog)
+                            if self._store is not None
+                            else None
+                        )
+                        pool = EnginePool(
+                            self.parallelism, snapshot_exporter=exporter
+                        )
                     except Exception as error:  # beaslint: ok(except-discipline) - any spawn failure (fork limits, pickling, OS) degrades to in-process execution
                         self._pool_spawn_error = error
                         self._pool = None
@@ -203,6 +265,14 @@ class BEAS:
     def pool_stats(self) -> Optional[PoolStats]:
         pool = self._pool
         return pool.stats() if pool is not None and not pool.closed else None
+
+    @property
+    def store(self) -> Optional[MmapStore]:
+        """The persistent store (``None`` under the memory engine)."""
+        return self._store
+
+    def storage_stats(self) -> Optional[StorageStats]:
+        return self._store.stats() if self._store is not None else None
 
     @property
     def checker_runs(self) -> int:
@@ -233,6 +303,15 @@ class BEAS:
             # beaslint: ok(except-discipline) - half-spawned pool: close() is best effort on shutdown
             except Exception:  # pragma: no cover - half-spawned pool
                 pass
+        if self._store is not None:
+            server = self._server
+            if server is not None:
+                try:
+                    server.persist_result_cache()
+                # beaslint: ok(except-discipline) - cache persistence is best effort on shutdown; the store stays valid without it
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            self._store.close()
 
     def __enter__(self) -> "BEAS":
         return self
@@ -306,6 +385,7 @@ class BEAS:
         """Register one access constraint and build its index."""
         self.catalog.register(constraint, validate=validate)
         self._refresh_components()
+        self._checkpoint_store()
 
     def register_all(
         self, constraints: Sequence[AccessConstraint], *, validate: bool = True
@@ -313,10 +393,21 @@ class BEAS:
         for constraint in constraints:
             self.catalog.register(constraint, validate=validate)
         self._refresh_components()
+        self._checkpoint_store()
 
     def unregister(self, constraint_name: str) -> None:
         self.catalog.unregister(constraint_name)
         self._refresh_components()
+        self._checkpoint_store()
+
+    def _checkpoint_store(self) -> None:
+        """Persist a full checkpoint after a schema-level change.
+
+        Register/unregister rebuild or drop whole segments — effects the
+        WAL cannot replay — so the store rewrites its segments and
+        manifest and resets the log."""
+        if self._store is not None:
+            self._store.checkpoint(self.catalog)
 
     # ------------------------------------------------------------------ #
     # the online services
@@ -598,6 +689,15 @@ class BEAS:
         )
         manager = MaintenanceManager(self.catalog, policy=policy)
         batch = manager.insert(table_name, rows)
+        if self._store is not None and batch.inserted:
+            # persistence discipline: the WAL record is appended only
+            # after the in-memory apply committed (a REJECT rollback
+            # logs nothing), under the same serving write section that
+            # serialises the maintenance itself
+            table = self.database.table(table_name)
+            self._store.log_insert(table, table.rows[-batch.inserted:])
+            for name in batch.adjusted_constraints:
+                self._store.log_adjust(name, self.catalog.schema.get(name).n)
         # snapshot: host_engine() may add comparators concurrently
         for engine in list(self._host_engines.values()):
             engine.invalidate_statistics()
@@ -609,6 +709,8 @@ class BEAS:
 
         manager = MaintenanceManager(self.catalog)
         batch = manager.delete(table_name, rows)
+        if self._store is not None and batch.deleted:
+            self._store.log_delete(self.database.table(table_name), rows)
         for engine in list(self._host_engines.values()):
             engine.invalidate_statistics()
         return batch

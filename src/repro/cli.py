@@ -81,6 +81,8 @@ def _build_session(
         parallelism=getattr(args, "parallelism", None),
         result_reuse=getattr(args, "result_reuse", None),
         routing=routing,
+        storage=getattr(args, "storage", None),
+        storage_dir=getattr(args, "storage_dir", None),
     )
     return Session(
         database,
@@ -454,6 +456,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor routing: static (the resolved executor) or learned "
         "(online per-template cost model picks the mode; "
         "default: BEAS_ROUTING or static)",
+    )
+    serve_stats.add_argument(
+        "--storage",
+        choices=["memory", "mmap"],
+        help="storage engine: memory (rebuild indices on start) or mmap "
+        "(persistent memory-mapped segments + WAL; reports the storage "
+        "counters in the stats block; default: BEAS_STORAGE or memory)",
+    )
+    serve_stats.add_argument(
+        "--storage-dir",
+        dest="storage_dir",
+        help="directory for the mmap storage engine (persists across "
+        "invocations; default: BEAS_STORAGE_DIR or a private tempdir)",
     )
     serve_stats.set_defaults(handler=_cmd_serve_stats)
 

@@ -21,6 +21,8 @@ The variables, and where they sit in the option-precedence chain
 ``BEAS_RESULT_REUSE``        result-cache matching: ``exact`` | ``subsume``
 ``BEAS_ROUTING``             executor routing: ``static`` | ``learned``
 ``BEAS_ROUTING_EPSILON``     learned-routing exploration rate (float in [0, 1])
+``BEAS_STORAGE``             storage engine: ``memory`` | ``mmap``
+``BEAS_STORAGE_DIR``         store directory for ``mmap`` (non-empty path)
 ``BEAS_FUZZ_SEEDS``          seed count for the differential fuzz suites
 ===========================  ==============================================
 """
@@ -41,6 +43,8 @@ ENV_POOL_START_METHOD = "BEAS_POOL_START_METHOD"
 ENV_RESULT_REUSE = "BEAS_RESULT_REUSE"
 ENV_ROUTING = "BEAS_ROUTING"
 ENV_ROUTING_EPSILON = "BEAS_ROUTING_EPSILON"
+ENV_STORAGE = "BEAS_STORAGE"
+ENV_STORAGE_DIR = "BEAS_STORAGE_DIR"
 ENV_FUZZ_SEEDS = "BEAS_FUZZ_SEEDS"
 
 #: Bounded-pipeline execution modes.
@@ -60,6 +64,13 @@ RESULT_REUSE_MODES = ("exact", "subsume")
 #: mode an online per-template cost model predicts fastest
 #: (:mod:`repro.engine.router`).
 ROUTING_MODES = ("static", "learned")
+
+#: Storage engines: ``memory`` keeps indices and caches process-local
+#: (the historical behaviour); ``mmap`` persists access-index buckets,
+#: the WAL, and the result cache to a disk-backed store
+#: (:mod:`repro.storage.mmapstore`) and ships pool snapshots through
+#: shared memory.
+STORAGE_MODES = ("memory", "mmap")
 
 #: Default number of rows per processing batch in columnar mode.
 DEFAULT_ROWS_PER_BATCH = 4096
@@ -138,6 +149,25 @@ def validate_routing_epsilon(
     return epsilon
 
 
+def validate_storage(mode: str, *, source: str = "storage") -> str:
+    if mode not in STORAGE_MODES:
+        raise BEASError(
+            f"unknown {source} mode {mode!r} (expected "
+            f"{' or '.join(repr(m) for m in STORAGE_MODES)})"
+        )
+    return mode
+
+
+def validate_storage_dir(value: object, *, source: str = "storage_dir") -> str:
+    if isinstance(value, os.PathLike):
+        value = os.fspath(value)
+    if not isinstance(value, str) or not value:
+        raise BEASError(
+            f"{source} must be a non-empty path string, got {value!r}"
+        )
+    return value
+
+
 def _env_int(name: str) -> Optional[int]:
     raw = os.environ.get(name)
     if not raw:
@@ -212,6 +242,20 @@ def env_routing_epsilon() -> Optional[float]:
     return validate_routing_epsilon(value, source=ENV_ROUTING_EPSILON)
 
 
+def env_storage() -> Optional[str]:
+    raw = os.environ.get(ENV_STORAGE)
+    if not raw:
+        return None
+    return validate_storage(raw, source=ENV_STORAGE)
+
+
+def env_storage_dir() -> Optional[str]:
+    raw = os.environ.get(ENV_STORAGE_DIR)
+    if not raw:
+        return None
+    return validate_storage_dir(raw, source=ENV_STORAGE_DIR)
+
+
 def env_fuzz_seeds(default: int = 8) -> int:
     value = _env_int(ENV_FUZZ_SEEDS)
     if value is None:
@@ -239,6 +283,8 @@ class EnvConfig:
     result_reuse: Optional[str] = None
     routing: Optional[str] = None
     routing_epsilon: Optional[float] = None
+    storage: Optional[str] = None
+    storage_dir: Optional[str] = None
     fuzz_seeds: int = 8
 
     def describe(self) -> str:
@@ -250,6 +296,8 @@ class EnvConfig:
             (ENV_RESULT_REUSE, self.result_reuse),
             (ENV_ROUTING, self.routing),
             (ENV_ROUTING_EPSILON, self.routing_epsilon),
+            (ENV_STORAGE, self.storage),
+            (ENV_STORAGE_DIR, self.storage_dir),
             (ENV_FUZZ_SEEDS, self.fuzz_seeds),
         ]
         return "\n".join(
@@ -268,5 +316,7 @@ def load_env_config(*, fuzz_default: int = 8) -> EnvConfig:
         result_reuse=env_result_reuse(),
         routing=env_routing(),
         routing_epsilon=env_routing_epsilon(),
+        storage=env_storage(),
+        storage_dir=env_storage_dir(),
         fuzz_seeds=env_fuzz_seeds(fuzz_default),
     )

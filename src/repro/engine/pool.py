@@ -42,6 +42,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
 import queue
 import threading
 import time
@@ -262,7 +263,11 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
     """
     installed_key: Optional[tuple] = None
     indexes: dict = {}
+    shm_handle = None  # the attached SharedMemory backing mapped indices
     die_next = False
+    # decided once, before any shm attach: whether this worker runs its
+    # own resource tracker (spawn) or shares the master's (fork)
+    private_tracker = not _tracker_is_inherited()
     while True:
         try:
             task = conn.recv()
@@ -297,6 +302,33 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
         if kind == "snapshot":
             installed_key = task[1]
             indexes = task[2]
+            if shm_handle is not None:
+                # the pickle wire replaced a shared-memory snapshot: the
+                # mapped indices are gone with the dict, so the attachment
+                # can be dropped (unlinking is the master's job)
+                previous, shm_handle = shm_handle, None
+                try:
+                    previous.close()
+                except (BufferError, OSError):
+                    pass
+            conn.send(("ok",))
+            continue
+        if kind == "snapshot_shm":
+            try:
+                new_indexes, handle = _attach_shm_snapshot(
+                    task[2], unregister=private_tracker
+                )
+            except Exception as error:  # noqa: BLE001 - any attach failure reports back and the master falls back to the pickle wire
+                conn.send(("shm-failed", repr(error)))
+                continue
+            installed_key = task[1]
+            indexes = new_indexes
+            previous, shm_handle = shm_handle, handle
+            if previous is not None:
+                try:
+                    previous.close()
+                except (BufferError, OSError):
+                    pass
             conn.send(("ok",))
             continue
         if die_next:
@@ -311,6 +343,56 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
             conn.send(_run_fetch_task(indexes, task))
         else:
             conn.send(("unsupported", f"unknown task kind {kind!r}"))
+
+
+def _tracker_is_inherited() -> bool:  # pragma: no cover - subprocess
+    """True when this worker shares the master's resource tracker.
+
+    Under ``fork``/``forkserver`` the tracker process (and its pipe fd)
+    is inherited, so register/unregister messages land in the SAME
+    bookkeeping set the master uses; under ``spawn`` the module state is
+    fresh and the first registration starts a private tracker.
+    """
+    from multiprocessing import resource_tracker
+
+    return getattr(resource_tracker._resource_tracker, "_fd", None) is not None
+
+
+def _attach_shm_snapshot(name: str, *, unregister: bool):  # pragma: no cover - subprocess
+    """Attach one exported snapshot block and open its mapped indices.
+
+    The handle must outlive the indices (their buckets decode lazily
+    from ``handle.buf``), so it is returned to the worker loop, which
+    closes the *previous* attachment only after replacing the index
+    dict. Never unlinks: the block's lifetime belongs to the master's
+    exporter.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    from repro.storage.mmapstore import decode_snapshot
+
+    handle = shared_memory.SharedMemory(name=name)
+    if unregister:
+        # attaching registers the block with this worker's PRIVATE
+        # resource tracker as if the worker owned it (bpo-38119);
+        # unregister, or the tracker unlinks a block the master still
+        # serves and warns about it at shutdown. With an INHERITED
+        # (shared) tracker the registration is the master's own and must
+        # stay — removing it here makes the master's eventual unlink a
+        # double-remove the tracker reports as a KeyError.
+        try:
+            resource_tracker.unregister(handle._name, "shared_memory")
+        except Exception:  # noqa: BLE001 - tracker bookkeeping only; never fail the attach over it
+            pass
+    try:
+        indexes = decode_snapshot(handle.buf)
+    except Exception:  # noqa: BLE001 - close the mapping on ANY decode failure, then re-raise for the fallback reply
+        try:
+            handle.close()
+        except (BufferError, OSError):
+            pass
+        raise
+    return indexes, handle
 
 
 def _run_plan_task(indexes: dict, task: tuple):  # pragma: no cover - subprocess
@@ -364,6 +446,9 @@ class PoolStats:
     plans_dispatched: int = 0
     chunks_dispatched: int = 0
     snapshots_sent: int = 0
+    snapshot_bytes_shipped: int = 0  # wire bytes per install (shm: name only)
+    shm_attaches: int = 0
+    shm_fallbacks: int = 0  # shm offered but the pickle wire was used
     stale_retries: int = 0
     worker_deaths: int = 0
     respawns: int = 0
@@ -375,7 +460,9 @@ class PoolStats:
         return (
             f"engine pool: {self.alive}/{self.workers} workers alive, "
             f"{self.plans_dispatched} plans + {self.chunks_dispatched} "
-            f"batches dispatched, {self.snapshots_sent} snapshots sent, "
+            f"batches dispatched, {self.snapshots_sent} snapshots sent "
+            f"({self.snapshot_bytes_shipped} B shipped, {self.shm_attaches} "
+            f"shm attaches, {self.shm_fallbacks} shm fallbacks), "
             f"{self.stale_retries} stale retries, {self.worker_deaths} "
             f"deaths ({self.respawns} respawns), {self.fallbacks} "
             f"fallbacks ({self.exhaustion_fallbacks} on exhaustion), "
@@ -415,12 +502,23 @@ class EnginePool:
         start_method: Optional[str] = None,
         acquire_timeout: float = 0.05,
         task_timeout: float = 120.0,
+        snapshot_exporter: Optional[
+            Callable[[tuple, Callable[[], dict]], Optional[str]]
+        ] = None,
     ):
         """``acquire_timeout`` bounds the wait for an idle worker before
         falling back in-process; ``task_timeout`` bounds one task's
         roundtrip — a worker that is alive but wedged past it is
         terminated and treated as dead (fallback + respawn), so a hung
-        worker can never hang a client thread."""
+        worker can never hang a client thread.
+
+        ``snapshot_exporter`` (the mmap storage engine's
+        :meth:`~repro.storage.mmapstore.MmapStore.snapshot_exporter`)
+        turns a snapshot key into a named ``multiprocessing.shared_memory``
+        block holding the encoded index segments; workers then attach it
+        zero-copy instead of receiving the pickled index map. ``None``
+        from the exporter, or a failed attach on the worker, falls back
+        to the pickle wire within the same install."""
         if not isinstance(workers, int) or isinstance(workers, bool):
             raise BEASError(
                 f"pool workers must be an int, got {type(workers).__name__}"
@@ -439,6 +537,7 @@ class EnginePool:
             available = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in available else "spawn"
         self._context = multiprocessing.get_context(method)
+        self._snapshot_exporter = snapshot_exporter
         self.workers = workers
         self.acquire_timeout = acquire_timeout
         self.task_timeout = task_timeout
@@ -634,12 +733,43 @@ class EnginePool:
     def _ensure_snapshot(self, worker: _Worker, key: tuple, payload_fn) -> None:
         if worker.snapshot_key == key:
             return
-        reply = self._roundtrip(worker, ("snapshot", key, payload_fn()))
+        if self._snapshot_exporter is not None:
+            name = self._snapshot_exporter(key, payload_fn)
+            if name is not None:
+                task = ("snapshot_shm", key, name)
+                reply = self._roundtrip(worker, task)
+                if reply == ("ok",):
+                    worker.snapshot_key = key
+                    with self._lock:
+                        self._stats.snapshots_sent += 1
+                        self._stats.shm_attaches += 1
+                        self._stats.snapshot_bytes_shipped += len(
+                            pickle.dumps(task, pickle.HIGHEST_PROTOCOL)
+                        )
+                    return
+                if reply[0] != "shm-failed":  # pragma: no cover - defensive
+                    raise _WorkerDied(f"snapshot install failed: {reply!r}")
+            # exporter declined or the worker could not attach (e.g. the
+            # block was replaced under a racing key): same-call fallback
+            with self._lock:
+                self._stats.shm_fallbacks += 1
+        # the pickle wire: pre-serialised so the shipped bytes are
+        # measured exactly (Connection.recv unpickles raw byte messages)
+        payload = pickle.dumps(
+            ("snapshot", key, payload_fn()), pickle.HIGHEST_PROTOCOL
+        )
+        try:
+            worker.conn.send_bytes(payload)
+            reply = self._recv(worker)
+        except (EOFError, OSError, BrokenPipeError) as error:
+            worker.alive = False
+            raise _WorkerDied(str(error)) from error
         if reply != ("ok",):  # pragma: no cover - defensive
             raise _WorkerDied(f"snapshot install failed: {reply!r}")
         worker.snapshot_key = key
         with self._lock:
             self._stats.snapshots_sent += 1
+            self._stats.snapshot_bytes_shipped += len(payload)
 
     def _compute(self, worker: _Worker, key: tuple, payload_fn, task: tuple):
         """Send one compute task, handling a stale worker snapshot by

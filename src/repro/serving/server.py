@@ -74,6 +74,7 @@ from repro.sql.fingerprint import statement_fingerprint, statement_tables
 from repro.sql.parser import parse
 from repro.serving.cache import CacheStats, LRUCache, approx_size
 from repro.serving.prepared import PreparedBinding, PreparedQuery
+from repro.storage.mmapstore import StorageStats
 from repro.serving.shard import (
     LockStats,
     ShardLock,
@@ -182,6 +183,10 @@ class ServingStats:
     # decisions, exploration rate, training observations, cost-aware
     # admission declines
     routing: Optional[RouterStats] = None
+    # persistent-storage counters (None while the BEAS instance runs the
+    # in-memory engine): warm-start provenance, WAL traffic, checkpoint
+    # and shared-memory snapshot activity
+    storage: Optional[StorageStats] = None
 
     @property
     def lock_wait_seconds(self) -> float:
@@ -221,6 +226,9 @@ class ServingStats:
         ]
         if self.pool is not None:
             lines.append(f"  {self.pool.describe()}")
+        if self.storage is not None:
+            for line in self.storage.describe().splitlines():
+                lines.append(f"  {line}")
         if self.routing is not None and self.routing.decisions:
             for line in self.routing.describe().splitlines():
                 lines.append(f"  {line}")
@@ -302,6 +310,8 @@ class BEASServer:
         self._router = ExecutorRouter(
             parallelism=beas.parallelism, epsilon=env_routing_epsilon()
         )
+        if beas.store is not None:
+            self._prewarm_result_cache()
 
     def _new_shard(self, name: str, shard_count: int) -> TableShard:
         entries = max(8, self._result_entries_budget // max(shard_count, 1))
@@ -709,7 +719,54 @@ class BEASServer:
             admission_declines=declines,
             pool=self._beas.pool_stats(),
             routing=self._router.stats(),
+            storage=self._beas.storage_stats(),
         )
+
+    # ------------------------------------------------------------------ #
+    # result-cache persistence (mmap storage engine only)
+    # ------------------------------------------------------------------ #
+    def persist_result_cache(self) -> int:
+        """Spill every live result-cache entry to the BEAS instance's
+        persistent store; no-op returning 0 on the in-memory engine.
+
+        Safe to persist entries that will be stale by the next start:
+        reloads pass through the same freshness gate as normal hits
+        (``_entry_fresh`` checks the schema generation and the exact
+        table-version vector), so a stale entry can never be served.
+        """
+        store = self._beas.store
+        if store is None:
+            return 0
+        triples: list[tuple[str, Hashable, Any]] = []
+        for name, shard in self.shards().items():
+            for key, entry in shard.entries():
+                if isinstance(entry, _CachedResult):
+                    triples.append((name, key, entry))
+        return store.save_results(triples)
+
+    def _prewarm_result_cache(self) -> None:
+        """Reinstall result-cache entries persisted by a prior process.
+
+        Bypasses the admit-on-second-hit doorkeeper — these keys earned
+        admission in the previous run — but not the freshness gate: a
+        reloaded entry whose version vector or schema generation moved
+        on sits in the LRU until evicted and is never served.
+        """
+        store = self._beas.store
+        if store is None:  # pragma: no cover - guarded by the caller
+            return
+        for home, key, entry in store.load_results():
+            if not isinstance(entry, _CachedResult):
+                continue
+            shard = self._shards.get(home)
+            if shard is None:
+                # shard topology changed (sharded flag flipped, table
+                # dropped) — the entry has no home here, skip it
+                continue
+            shard.install(key, entry)
+            self._register_dependents(
+                key, frozenset(entry.table_versions), shard.table
+            )
 
     def reset_caches(self) -> None:
         """Drop all cached state (keeps prepared handles)."""

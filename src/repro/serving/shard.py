@@ -259,6 +259,21 @@ class TableShard:
             self._seen.move_to_end(key)
             return self.results.put(key, entry)
 
+    def install(self, key: Hashable, entry: Any) -> bool:
+        """Insert bypassing the admission doorkeeper.
+
+        Used by the result-cache prewarm from persistent storage: a
+        reloaded key already earned admission in a previous process, so
+        first-sighting suppression does not apply. The key is seeded
+        into the doorkeeper too, keeping a later re-admission of the
+        same key a single-sighting affair.
+        """
+        with self._mutex:
+            if self._admit_on_second_hit:
+                self._seen[key] = True
+                self._seen.move_to_end(key)
+            return self.results.put(key, entry)
+
     def invalidate(self, key: Hashable) -> bool:
         with self._mutex:
             return self.results.invalidate(key)

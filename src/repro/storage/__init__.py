@@ -1,7 +1,39 @@
-"""In-memory relational storage (S2)."""
+"""Relational storage (S2): in-memory tables plus the persistent engine.
+
+``Table``/``Database`` hold rows in memory; the optional mmap engine
+(:class:`~repro.storage.mmapstore.MmapStore`) persists access-index
+buckets and the result cache to memory-mapped segment files with a
+write-ahead maintenance log, all through the one canonical value codec
+in :mod:`repro.storage.codec`.
+"""
 
 from repro.storage.table import Table
 from repro.storage.database import Database
 from repro.storage.csvio import load_csv, dump_csv
+from repro.storage.codec import (
+    CANONICAL_NAN,
+    canonical_key,
+    canonical_value,
+    decode_value,
+    encode_value,
+    is_nan,
+)
+from repro.storage.mmapstore import MappedAccessIndex, MmapStore, StorageStats
+from repro.storage.wal import WriteAheadLog
 
-__all__ = ["Table", "Database", "load_csv", "dump_csv"]
+__all__ = [
+    "Table",
+    "Database",
+    "load_csv",
+    "dump_csv",
+    "CANONICAL_NAN",
+    "canonical_key",
+    "canonical_value",
+    "decode_value",
+    "encode_value",
+    "is_nan",
+    "MappedAccessIndex",
+    "MmapStore",
+    "StorageStats",
+    "WriteAheadLog",
+]

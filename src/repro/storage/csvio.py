@@ -1,11 +1,12 @@
 """CSV import/export for tables.
 
 The exported format writes a header with ``name:type`` per column so a table
-round-trips without a separate schema file. NULL is encoded as the empty
-string; empty strings are encoded as ``""``. A *literal* string value that
-itself looks like a quoted cell (``"..."``) is wrapped in one extra pair of
-quotes so it cannot collide with the empty-string sentinel — every value
-round-trips exactly.
+round-trips without a separate schema file. Cell encoding is delegated to
+the canonical value codec (:mod:`repro.storage.codec`) shared with the WAL
+and the mmap segment format: NULL is the empty string, empty strings are
+``""``, quote-shaped literals get one extra quote pair, and float specials
+round-trip as ``nan`` / ``inf`` / ``-inf`` (NaN decoding to the canonical
+NaN object — see the codec module for the 3VL treatment).
 """
 
 from __future__ import annotations
@@ -16,42 +17,13 @@ from pathlib import Path
 from typing import TextIO
 
 from repro.catalog.schema import Column, TableSchema
-from repro.catalog.types import DataType, coerce_value
+from repro.catalog.types import DataType
 from repro.errors import StorageError
+from repro.storage.codec import decode_value, encode_value
 from repro.storage.table import Table
 
-_NULL = ""
-_QUOTED_EMPTY = '""'
-
-
-def _encode(value: object) -> str:
-    if value is None:
-        return _NULL
-    if value == "":
-        return _QUOTED_EMPTY
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if (
-        isinstance(value, str)
-        and len(value) >= 2
-        and value[0] == '"'
-        and value[-1] == '"'
-    ):
-        # a literal "..."-shaped string would be indistinguishable from
-        # the empty-string sentinel (or a previously wrapped value):
-        # wrap it in one more quote pair, undone symmetrically on decode
-        return f'"{value}"'
-    return str(value)
-
-
-def _decode(text: str, dtype: DataType) -> object:
-    if text == _NULL:
-        return None
-    if text == _QUOTED_EMPTY:
-        return "" if dtype is DataType.STRING else coerce_value("", dtype)
-    if len(text) >= 4 and text[0] == '"' and text[-1] == '"':
-        return coerce_value(text[1:-1], dtype)
-    return coerce_value(text, dtype)
+_encode = encode_value
+_decode = decode_value
 
 
 def dump_csv(table: Table, destination: str | Path | TextIO) -> None:

@@ -13,6 +13,7 @@ from repro.catalog.schema import TableSchema
 from repro.catalog.statistics import TableStatistics, collect_statistics
 from repro.catalog.types import coerce_value, is_compatible
 from repro.errors import StorageError, TypeMismatchError
+from repro.storage.codec import canonical_key
 
 Row = tuple
 
@@ -46,7 +47,7 @@ class Table:
                 f"{self.schema.name!r} arity {self.schema.arity}"
             )
         if coerce:
-            values = tuple(
+            values = canonical_key(
                 coerce_value(value, column.dtype)
                 for value, column in zip(row, self.schema.columns)
             )
@@ -57,7 +58,9 @@ class Table:
                         f"value {value!r} is not a {column.dtype.name} "
                         f"(column {self.schema.name}.{column.name})"
                     )
-            values = tuple(row)
+            # canonicalise NaN so bag-semantics deletes and DISTINCT
+            # dedup stay exact (see repro.storage.codec)
+            values = canonical_key(row)
         self.rows.append(values)
         self.version += 1
         return values
@@ -84,7 +87,7 @@ class Table:
         """Remove one occurrence of each given row (bag semantics)."""
         from collections import Counter
 
-        wanted = Counter(tuple(r) for r in rows)
+        wanted = Counter(canonical_key(r) for r in rows)
         kept: list[Row] = []
         removed: list[Row] = []
         for row in self.rows:

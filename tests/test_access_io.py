@@ -71,3 +71,80 @@ class TestErrors:
     def test_default_name(self):
         schema = schema_from_dict({"constraints": []})
         assert schema.name == "A"
+
+
+class TestValidationSweep:
+    """Regressions for the schema_from_dict validation gaps closed in the
+    serialization-boundary sweep: duplicate names, string-shaped
+    attribute lists, non-string attributes, and the n bound accepting
+    bools / silently truncating floats."""
+
+    @staticmethod
+    def _entry(**overrides) -> dict:
+        entry = {
+            "name": "psi",
+            "relation": "r",
+            "x": ["a"],
+            "y": ["b"],
+            "n": 10,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_duplicate_names_cite_both_entries(self):
+        with pytest.raises(AccessSchemaError) as exc:
+            schema_from_dict(
+                {
+                    "constraints": [
+                        self._entry(),
+                        self._entry(x=["c"], y=["d"]),
+                    ]
+                }
+            )
+        message = str(exc.value)
+        assert "duplicate" in message
+        assert "#1" in message and "#0" in message
+
+    def test_x_as_plain_string_rejected(self):
+        # "ab" iterates as ["a", "b"] — must be rejected, not exploded
+        with pytest.raises(AccessSchemaError, match="#0.*'x'.*list"):
+            schema_from_dict({"constraints": [self._entry(x="ab")]})
+
+    def test_y_as_plain_string_rejected(self):
+        with pytest.raises(AccessSchemaError, match="#0.*'y'.*list"):
+            schema_from_dict({"constraints": [self._entry(y="b")]})
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(AccessSchemaError, match="#0.*non-string"):
+            schema_from_dict({"constraints": [self._entry(y=["b", 3])]})
+
+    def test_bool_bound_rejected(self):
+        # bool is an int subclass: True must not slip through as n=1
+        with pytest.raises(AccessSchemaError, match="#0.*'n'.*integer"):
+            schema_from_dict({"constraints": [self._entry(n=True)]})
+
+    def test_float_bound_rejected_not_truncated(self):
+        # int(500.9) used to truncate to 500 — now a hard error
+        with pytest.raises(AccessSchemaError, match="#0.*'n'.*integer"):
+            schema_from_dict({"constraints": [self._entry(n=500.9)]})
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(AccessSchemaError, match="#0.*'relation'"):
+            schema_from_dict({"constraints": [self._entry(relation="")]})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AccessSchemaError, match="#0.*'name'"):
+            schema_from_dict({"constraints": [self._entry(name="")]})
+
+    def test_error_names_the_offending_index(self):
+        # a later bad entry is reported by ITS index, not #0
+        with pytest.raises(AccessSchemaError, match="#2"):
+            schema_from_dict(
+                {
+                    "constraints": [
+                        self._entry(name="a"),
+                        self._entry(name="b"),
+                        self._entry(name="c", n="ten"),
+                    ]
+                }
+            )

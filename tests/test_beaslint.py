@@ -23,7 +23,7 @@ def _hits(report, rule):
     return [f for f in report.findings if f.rule == rule]
 
 
-def test_registry_has_all_six_house_rules():
+def test_registry_has_all_house_rules():
     assert set(all_checkers()) == {
         "null-guard",
         "lock-discipline",
@@ -31,6 +31,7 @@ def test_registry_has_all_six_house_rules():
         "metrics-accounting",
         "cache-guard",
         "except-discipline",
+        "storage-codec",
     }
 
 
@@ -432,6 +433,65 @@ class TestExceptDiscipline:
             "engine/pool.py",
         )
         assert _hits(report, "except-discipline")
+
+
+# --------------------------------------------------------------------------- #
+# storage-codec — PR 9's divergent ad-hoc value coding on storage boundaries
+# --------------------------------------------------------------------------- #
+class TestStorageCodec:
+    def test_flags_adhoc_float_parse_in_storage_module(self):
+        report = _lint(
+            """\
+            def read_cell(text):
+                return float(text)
+            """,
+            "storage/csvio.py",
+        )
+        hits = _hits(report, "storage-codec")
+        assert len(hits) == 1
+        assert hits[0].line == 2
+
+    def test_flags_adhoc_repr_print_in_storage_module(self):
+        report = _lint(
+            """\
+            def write_cell(value):
+                return repr(value)
+            """,
+            "storage/wal.py",
+        )
+        assert len(_hits(report, "storage-codec")) == 1
+
+    def test_codec_module_is_exempt(self):
+        report = _lint(
+            """\
+            def encode_value(value):
+                return repr(value) if isinstance(value, float) else str(value)
+            """,
+            "storage/codec.py",
+        )
+        assert not _hits(report, "storage-codec")
+
+    def test_non_storage_modules_are_exempt(self):
+        report = _lint(
+            """\
+            def describe(value):
+                return repr(float(value))
+            """,
+            "serving/server.py",
+        )
+        assert not _hits(report, "storage-codec")
+
+    def test_codec_call_is_silent(self):
+        report = _lint(
+            """\
+            from repro.storage.codec import encode_value
+
+            def write_cell(value):
+                return encode_value(value)
+            """,
+            "storage/mmapstore.py",
+        )
+        assert not _hits(report, "storage-codec")
 
 
 # --------------------------------------------------------------------------- #

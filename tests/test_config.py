@@ -62,6 +62,20 @@ class TestValidators:
             with pytest.raises(BEASError):
                 config.validate_routing_epsilon(bad)
 
+    def test_storage(self):
+        for mode in ("memory", "mmap"):
+            assert config.validate_storage(mode) == mode
+        with pytest.raises(BEASError, match="storage"):
+            config.validate_storage("disk")
+
+    def test_storage_dir(self, tmp_path):
+        assert config.validate_storage_dir("/var/beas") == "/var/beas"
+        # PathLike values normalise to their string form
+        assert config.validate_storage_dir(tmp_path) == str(tmp_path)
+        for bad in ("", None, 7, True):
+            with pytest.raises(BEASError, match="storage_dir"):
+                config.validate_storage_dir(bad)
+
 
 class TestEnvironmentReaders:
     def test_unset_is_none(self, monkeypatch):
@@ -73,6 +87,8 @@ class TestEnvironmentReaders:
             "BEAS_RESULT_REUSE",
             "BEAS_ROUTING",
             "BEAS_ROUTING_EPSILON",
+            "BEAS_STORAGE",
+            "BEAS_STORAGE_DIR",
         ):
             monkeypatch.delenv(name, raising=False)
         assert config.env_executor() is None
@@ -82,6 +98,8 @@ class TestEnvironmentReaders:
         assert config.env_result_reuse() is None
         assert config.env_routing() is None
         assert config.env_routing_epsilon() is None
+        assert config.env_storage() is None
+        assert config.env_storage_dir() is None
 
     def test_values_round_trip(self, monkeypatch):
         monkeypatch.setenv("BEAS_EXECUTOR", "columnar")
@@ -107,6 +125,7 @@ class TestEnvironmentReaders:
             ("BEAS_ROUTING_EPSILON", "-0.1", r"\[0, 1\]"),
             ("BEAS_FUZZ_SEEDS", "many", "integer"),
             ("BEAS_FUZZ_SEEDS", "0", ">= 1"),
+            ("BEAS_STORAGE", "disk", "BEAS_STORAGE"),
         ],
     )
     def test_malformed_values_raise_at_construction(
@@ -133,6 +152,16 @@ class TestEnvironmentReaders:
         monkeypatch.setenv("BEAS_RESULT_REUSE", "exact")
         assert config.env_result_reuse() == "exact"
 
+    def test_storage_round_trip(self, monkeypatch):
+        monkeypatch.setenv("BEAS_STORAGE", "mmap")
+        monkeypatch.setenv("BEAS_STORAGE_DIR", "/var/beas")
+        assert config.env_storage() == "mmap"
+        assert config.env_storage_dir() == "/var/beas"
+        monkeypatch.delenv("BEAS_STORAGE")
+        monkeypatch.delenv("BEAS_STORAGE_DIR")
+        assert config.env_storage() is None
+        assert config.env_storage_dir() is None
+
     def test_routing_round_trip(self, monkeypatch):
         monkeypatch.setenv("BEAS_ROUTING", "learned")
         assert config.env_routing() == "learned"
@@ -154,6 +183,8 @@ class TestEnvConfig:
         monkeypatch.delenv("BEAS_FUZZ_SEEDS", raising=False)
         monkeypatch.setenv("BEAS_ROUTING", "learned")
         monkeypatch.delenv("BEAS_ROUTING_EPSILON", raising=False)
+        monkeypatch.delenv("BEAS_STORAGE", raising=False)
+        monkeypatch.delenv("BEAS_STORAGE_DIR", raising=False)
         snapshot = load_env_config()
         assert snapshot == EnvConfig(
             executor="columnar", parallelism=2, routing="learned", fuzz_seeds=8

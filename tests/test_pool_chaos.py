@@ -305,6 +305,73 @@ def test_serving_layer_survives_worker_chaos(workload):
         beas.close()
 
 
+# --------------------------------------------------------------------------- #
+# shared-memory snapshot wire (mmap storage engine)
+# --------------------------------------------------------------------------- #
+def test_empty_bucket_index_installs_under_full_snapshot_key(tmp_path):
+    """Regression: an access index over a relation with ZERO rows still
+    ships to pool workers under the full (schema generation, version
+    vector) snapshot key — the covered query answers [] through the
+    pool, never 'unsupported', and the install never degenerates into a
+    stale-retry loop."""
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "e",
+                [("k", DataType.STRING), ("u", DataType.STRING)],
+                keys=[("u",)],
+            )
+        ]
+    )
+    db = Database(schema)  # deliberately: no rows at all
+    access = AccessSchema(
+        [AccessConstraint("e", ["k"], ["u"], 5, name="e_by_k")]
+    )
+    beas = BEAS(
+        db, access, parallelism=2, storage="mmap", storage_dir=tmp_path
+    )
+    try:
+        result = beas.execute("SELECT DISTINCT u FROM e WHERE k = 'x'")
+        assert result.mode is ExecutionMode.BOUNDED
+        assert result.rows == []
+        stats = beas.pool_stats()
+        assert stats is not None
+        assert stats.shm_attaches >= 1
+        assert stats.stale_retries == 0
+    finally:
+        beas.close()
+
+
+def test_shm_exporter_decline_falls_back_to_pickle_wire(tmp_path, workload):
+    """When the shared-memory exporter declines (shm exhausted, block
+    raced away), the SAME _ensure_snapshot call must fall back to the
+    pickle wire — counted in shm_fallbacks, answers unchanged."""
+    db, access, sql = workload
+    beas = BEAS(
+        db, access, parallelism=2, storage="mmap", storage_dir=tmp_path
+    )
+    try:
+        oracle = BEAS(db, access, parallelism=1).execute(sql)
+        first = beas.execute(sql)
+        assert first.rows == oracle.rows
+        pool = beas.pool
+        assert pool is not None
+        assert pool.stats().shm_attaches >= 1
+        pool._snapshot_exporter = lambda key, payload_fn: None
+        # maintenance bumps the version vector, forcing a re-ship that
+        # can no longer ride the shm wire
+        beas.insert("t", [("k", "g0", "u9998")])
+        fresh_oracle = BEAS(db, access, parallelism=1).execute(sql)
+        second = beas.execute(sql)
+        assert second.rows == fresh_oracle.rows
+        stats = beas.pool_stats()
+        assert stats is not None
+        assert stats.shm_fallbacks >= 1
+        assert stats.snapshot_bytes_shipped > 0
+    finally:
+        beas.close()
+
+
 def test_router_never_trains_pooled_models_on_fallbacks(workload):
     """A pooled execution that fell back in-process (ExecutionMetrics
     .pool_fallbacks > 0) is skipped by ExecutorRouter.observe — the

@@ -1,6 +1,7 @@
-"""Unit tests for repro.storage (table, database, CSV round-trips)."""
+"""Unit tests for repro.storage (table, database, CSV round-trips, codec)."""
 
 import io
+import math
 
 import pytest
 from hypothesis import given, settings
@@ -9,6 +10,14 @@ from hypothesis import strategies as st
 from repro.catalog.schema import DatabaseSchema, TableSchema
 from repro.catalog.types import DataType
 from repro.errors import StorageError, TypeMismatchError, UnknownTableError
+from repro.storage.codec import (
+    CANONICAL_NAN,
+    canonical_key,
+    canonical_value,
+    decode_value,
+    encode_value,
+    is_nan,
+)
 from repro.storage.csvio import dump_csv, load_csv, table_from_csv_text, table_to_csv_text
 from repro.storage.database import Database
 from repro.storage.table import Table
@@ -196,3 +205,89 @@ class TestCSV:
         table.insert((1, None, tricky, None, None))
         back = table_from_csv_text(table_to_csv_text(table))
         assert back.rows == table.rows
+
+
+class TestFloatSpecialsCodec:
+    """Regressions for the shared storage codec (repro.storage.codec).
+
+    The CSV, WAL, and mmap formats all encode values through this one
+    module; these cases pin the float-special behaviour the serialization
+    sweep fixed — NaN canonicalisation, inf round trips, and NULL vs NaN
+    staying distinct at every boundary.
+    """
+
+    def test_encode_specials(self):
+        assert encode_value(float("nan")) == "nan"
+        assert encode_value(float("inf")) == "inf"
+        assert encode_value(float("-inf")) == "-inf"
+        assert encode_value(None) == ""
+
+    def test_decode_nan_is_canonical(self):
+        """Every decoded NaN is the ONE canonical object, so bucket keys
+        built from round-tripped rows match by identity."""
+        decoded = decode_value("nan", DataType.FLOAT)
+        assert decoded is CANONICAL_NAN
+        assert decode_value("NaN", DataType.FLOAT) is CANONICAL_NAN
+
+    def test_decode_inf_round_trip(self):
+        assert decode_value("inf", DataType.FLOAT) == math.inf
+        assert decode_value("-inf", DataType.FLOAT) == -math.inf
+        assert decode_value("", DataType.FLOAT) is None
+
+    def test_is_nan_excludes_non_floats(self):
+        assert is_nan(float("nan"))
+        assert not is_nan(None)
+        assert not is_nan("nan")
+        assert not is_nan(1.0)
+        assert not is_nan(True)
+
+    def test_canonical_value_and_key(self):
+        fresh = float("nan")
+        assert fresh is not CANONICAL_NAN
+        assert canonical_value(fresh) is CANONICAL_NAN
+        assert canonical_value(2.5) == 2.5
+        assert canonical_value(None) is None
+        key = canonical_key(("k", fresh, None, 1.0))
+        assert key[1] is CANONICAL_NAN
+        # canonical keys from independently parsed NaNs compare equal
+        # (tuple equality short-circuits on identity)
+        assert key == canonical_key(("k", float("nan"), None, 1.0))
+
+    def test_csv_round_trip_preserves_specials(self):
+        """NaN/inf survive dump -> load, and the reloaded NaN is the
+        canonical object — not a fresh unequal one."""
+        table = Table(schema())
+        table.insert((1, float("nan"), "a", None, None))
+        table.insert((2, float("inf"), "b", None, None))
+        table.insert((3, float("-inf"), "c", None, None))
+        table.insert((4, None, "d", None, None))
+        back = table_from_csv_text(table_to_csv_text(table))
+        assert back.rows[0][1] is CANONICAL_NAN
+        assert back.rows[1][1] == math.inf
+        assert back.rows[2][1] == -math.inf
+        assert back.rows[3][1] is None
+
+    def test_null_never_conflated_with_nan(self):
+        """3VL: NULL and NaN are different UNKNOWNs — the codec must not
+        collapse one into the other in either direction."""
+        assert encode_value(None) != encode_value(float("nan"))
+        assert decode_value("", DataType.FLOAT) is None
+        assert is_nan(decode_value("nan", DataType.FLOAT))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        value=st.one_of(
+            st.none(),
+            st.floats(width=64),  # includes NaN and both infinities
+        )
+    )
+    def test_float_codec_property(self, value):
+        """encode -> decode is the identity on every float (NaN modulo
+        canonicalisation) and on NULL."""
+        back = decode_value(encode_value(value), DataType.FLOAT)
+        if value is None:
+            assert back is None
+        elif math.isnan(value):
+            assert back is CANONICAL_NAN
+        else:
+            assert back == value

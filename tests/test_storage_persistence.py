@@ -1,0 +1,400 @@
+"""Crash-recovery suite for the persistent mmap storage engine.
+
+Every failure mode a crash can leave on disk must recover to a state
+the brute-force oracle agrees with, or fall back to a cold rebuild —
+never serve from a half-applied store:
+
+* a torn WAL tail (partial header, short payload, CRC flip) is
+  truncated to the longest consistent prefix and replay continues,
+* a half-written or bit-flipped segment fails ``try_load`` and the
+  engine cold-rebuilds from base data (then re-checkpoints),
+* kill -9 mid-maintenance recovers *exactly* the last fully-logged
+  batch: the differential test compares the recovered index buckets
+  and query answers against an oracle rebuilt from scratch at the
+  recovered version vector.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro import BEAS
+from repro.access.catalog import ASCatalog
+from repro.access.constraint import AccessConstraint
+from repro.access.index import AccessIndex
+from repro.access.schema import AccessSchema
+from repro.catalog.schema import DatabaseSchema, TableSchema
+from repro.catalog.types import DataType
+from repro.storage.codec import CANONICAL_NAN
+from repro.storage.database import Database
+from repro.storage.mmapstore import MmapStore
+from repro.storage.wal import WriteAheadLog, frame_record
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+ROOT = SRC.parent
+
+QUERY = (
+    "SELECT DISTINCT recnum, amount FROM event "
+    "WHERE k = 'k000' AND date = '2016-06-01'"
+)
+
+
+def event_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            TableSchema(
+                "event",
+                [
+                    ("k", DataType.STRING),
+                    ("date", DataType.STRING),
+                    ("recnum", DataType.STRING),
+                    ("amount", DataType.FLOAT),
+                ],
+                keys=[("recnum",)],
+            )
+        ]
+    )
+
+
+def build_base() -> Database:
+    """A deterministic base dataset, identical on every call — the
+    kill-9 child and the recovering parent must fingerprint equal."""
+    db = Database(event_schema())
+    for i in range(120):
+        db.insert(
+            "event",
+            (
+                f"k{i % 6:03d}",
+                "2016-06-01" if i % 2 == 0 else "2016-06-02",
+                f"r{i:05d}",
+                float(i),
+            ),
+        )
+    # float specials ride through the segment + WAL codecs
+    db.insert("event", ("k000", "2016-06-01", "rnan0", float("nan")))
+    db.insert("event", ("k000", "2016-06-01", "rinf0", float("inf")))
+    db.insert("event", ("k000", "2016-06-01", "rnull", None))
+    return db
+
+
+ACCESS = AccessSchema(
+    [
+        AccessConstraint(
+            "event",
+            ["k", "date"],
+            ["recnum", "amount"],
+            500_000,
+            name="by_key",
+        )
+    ],
+    name="A-persist",
+)
+
+
+def gen_insert(i: int) -> tuple:
+    return (f"k{i % 6:03d}", "2016-06-01", f"w{i:06d}", float(i))
+
+
+# --------------------------------------------------------------------------- #
+# WAL framing under torn tails
+# --------------------------------------------------------------------------- #
+class TestWalRepair:
+    def _log_with_records(self, tmp_path, count=3) -> WriteAheadLog:
+        wal = WriteAheadLog(tmp_path / "log.wal")
+        for i in range(count):
+            wal.append({"op": "insert", "seq": i})
+        wal.close()
+        return wal
+
+    def test_partial_header_tail_is_truncated(self, tmp_path):
+        wal = self._log_with_records(tmp_path)
+        with open(wal.path, "ab") as handle:
+            handle.write(b"\x07\x00")  # 2 of the 8 header bytes
+        report = wal.replay(repair=True)
+        assert [r["seq"] for r in report.records] == [0, 1, 2]
+        assert report.truncated and report.dropped_bytes == 2
+        # the repair leaves a consistent prefix: appends continue from it
+        wal.append({"op": "insert", "seq": 3})
+        wal.close()
+        assert [r["seq"] for r in wal.replay().records] == [0, 1, 2, 3]
+
+    def test_short_payload_tail_is_truncated(self, tmp_path):
+        wal = self._log_with_records(tmp_path)
+        frame = frame_record(b'{"op":"insert","seq":9}')
+        with open(wal.path, "ab") as handle:
+            handle.write(frame[:-4])  # crash mid-payload
+        report = wal.replay(repair=True)
+        assert [r["seq"] for r in report.records] == [0, 1, 2]
+        assert report.truncated and report.reason == "short frame payload"
+
+    def test_crc_flip_drops_the_flipped_record_and_everything_after(
+        self, tmp_path
+    ):
+        wal = self._log_with_records(tmp_path, count=3)
+        data = bytearray(wal.path.read_bytes())
+        # flip one payload byte of the middle record: the WAL is an
+        # ordered history, so record 2 must NOT survive record 1's loss
+        middle = len(data) // 2
+        data[middle] ^= 0xFF
+        wal.path.write_bytes(bytes(data))
+        report = wal.replay(repair=True)
+        assert len(report.records) < 3
+        assert report.truncated
+        assert report.reason in (
+            "frame checksum mismatch",
+            "frame payload is not valid JSON",
+            "implausible frame length "
+            f"{int.from_bytes(bytes(data[middle:middle + 4]), 'little')}",
+        ) or report.reason.startswith("implausible frame length")
+        # the surviving prefix is exactly the records before the flip
+        assert [r["seq"] for r in report.records] == list(
+            range(len(report.records))
+        )
+
+    def test_non_object_payload_is_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "log.wal")
+        wal.append({"op": "insert", "seq": 0})
+        wal.close()
+        with open(wal.path, "ab") as handle:
+            handle.write(frame_record(b"[1, 2, 3]"))  # valid CRC, wrong shape
+        report = wal.replay(repair=True)
+        assert [r["seq"] for r in report.records] == [0]
+        assert report.truncated
+
+
+# --------------------------------------------------------------------------- #
+# warm restart through the BEAS constructor
+# --------------------------------------------------------------------------- #
+class TestWarmRestart:
+    def test_wal_replay_recovers_maintenance(self, tmp_path):
+        first = BEAS(
+            build_base(), ACCESS, storage="mmap", storage_dir=tmp_path
+        )
+        for i in range(5):
+            first.insert("event", [gen_insert(i)])
+        first.delete("event", [gen_insert(0)])
+        expected = first.execute(QUERY)
+        version = first.database.table("event").version
+        first.close()
+
+        second = BEAS(
+            build_base(), ACCESS, storage="mmap", storage_dir=tmp_path
+        )
+        stats = second.storage_stats()
+        assert stats is not None and stats.warm_start
+        assert stats.wal_records_replayed >= 6
+        assert second.database.table("event").version == version
+        recovered = second.execute(QUERY)
+        assert recovered.rows == expected.rows
+        second.close()
+
+    def test_base_data_drift_forces_cold_rebuild(self, tmp_path):
+        BEAS(build_base(), ACCESS, storage="mmap", storage_dir=tmp_path).close()
+        drifted = build_base()
+        drifted.insert("event", ("k000", "2016-06-01", "extra", 1.0))
+        beas = BEAS(drifted, ACCESS, storage="mmap", storage_dir=tmp_path)
+        stats = beas.storage_stats()
+        assert stats is not None and not stats.warm_start
+        oracle_db = build_base()
+        oracle_db.insert("event", ("k000", "2016-06-01", "extra", 1.0))
+        oracle = BEAS(oracle_db, ACCESS)
+        assert beas.execute(QUERY).rows == oracle.execute(QUERY).rows
+        beas.close()
+        oracle.close()
+
+    def test_access_schema_drift_forces_cold_rebuild(self, tmp_path):
+        BEAS(build_base(), ACCESS, storage="mmap", storage_dir=tmp_path).close()
+        narrower = AccessSchema(
+            [
+                AccessConstraint(
+                    "event", ["k", "date"], ["recnum"], 500_000, name="by_key"
+                )
+            ],
+            name="A-persist",
+        )
+        beas = BEAS(
+            build_base(), narrower, storage="mmap", storage_dir=tmp_path
+        )
+        stats = beas.storage_stats()
+        assert stats is not None and not stats.warm_start
+        beas.close()
+
+    def test_adjust_record_widens_recovered_bound(self, tmp_path):
+        db = build_base()
+        catalog = ASCatalog(db, ACCESS)
+        store = MmapStore(tmp_path)
+        store.checkpoint(catalog)
+        store.log_adjust("by_key", 750_000)
+        store.close()
+
+        fresh = ASCatalog(build_base())
+        fresh.schema = AccessSchema(name="A-persist")
+        reopened = MmapStore(tmp_path)
+        assert reopened.try_load(fresh)
+        assert fresh.schema.get("by_key").n == 750_000
+        reopened.close()
+
+    def test_float_specials_round_trip_the_store(self, tmp_path):
+        first = BEAS(
+            build_base(), ACCESS, storage="mmap", storage_dir=tmp_path
+        )
+        expected = first.execute(QUERY)
+        first.close()
+        second = BEAS(
+            build_base(), ACCESS, storage="mmap", storage_dir=tmp_path
+        )
+        assert second.storage_stats().warm_start
+        constraint = ACCESS.get("by_key")
+        index = second.catalog.index_for(constraint)
+        key_parts = {"k": "k000", "date": "2016-06-01"}
+        bucket = index.fetch(
+            tuple(key_parts[attr] for attr in constraint.x)
+        )
+        recnum_pos = constraint.y.index("recnum")
+        amount_pos = constraint.y.index("amount")
+        by_recnum = {y[recnum_pos]: y[amount_pos] for y in bucket}
+        assert by_recnum["rnan0"] is CANONICAL_NAN
+        assert by_recnum["rinf0"] == float("inf")
+        assert by_recnum["rnull"] is None
+        assert second.execute(QUERY).rows == expected.rows
+        second.close()
+
+
+# --------------------------------------------------------------------------- #
+# corrupt store artifacts: never serve, always cold-rebuild
+# --------------------------------------------------------------------------- #
+class TestCorruptStore:
+    def _seed_store(self, tmp_path) -> Path:
+        BEAS(build_base(), ACCESS, storage="mmap", storage_dir=tmp_path).close()
+        segments = sorted((tmp_path / "segments").glob("*.seg"))
+        assert segments, "cold build must checkpoint at least one segment"
+        return segments[0]
+
+    def _assert_cold_but_correct(self, tmp_path):
+        beas = BEAS(build_base(), ACCESS, storage="mmap", storage_dir=tmp_path)
+        stats = beas.storage_stats()
+        assert stats is not None and not stats.warm_start
+        oracle = BEAS(build_base(), ACCESS)
+        assert beas.execute(QUERY).rows == oracle.execute(QUERY).rows
+        beas.close()
+        oracle.close()
+        # the rebuild re-checkpointed: a third start is warm again
+        third = BEAS(build_base(), ACCESS, storage="mmap", storage_dir=tmp_path)
+        assert third.storage_stats().warm_start
+        third.close()
+
+    def test_bit_flipped_segment_falls_back_cold(self, tmp_path):
+        segment = self._seed_store(tmp_path)
+        data = bytearray(segment.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        self._assert_cold_but_correct(tmp_path)
+
+    def test_half_written_segment_falls_back_cold(self, tmp_path):
+        segment = self._seed_store(tmp_path)
+        data = segment.read_bytes()
+        segment.write_bytes(data[: len(data) // 2])
+        self._assert_cold_but_correct(tmp_path)
+
+    def test_missing_segment_falls_back_cold(self, tmp_path):
+        self._seed_store(tmp_path).unlink()
+        self._assert_cold_but_correct(tmp_path)
+
+    def test_garbage_manifest_falls_back_cold(self, tmp_path):
+        self._seed_store(tmp_path)
+        (tmp_path / "MANIFEST.json").write_text("{not json")
+        self._assert_cold_but_correct(tmp_path)
+
+    def test_torn_wal_tail_still_warm_starts(self, tmp_path):
+        first = BEAS(build_base(), ACCESS, storage="mmap", storage_dir=tmp_path)
+        for i in range(4):
+            first.insert("event", [gen_insert(i)])
+        expected = first.execute(QUERY)
+        first.close()
+        with open(tmp_path / "wal.log", "ab") as handle:
+            handle.write(b"\x99\x00\x00")  # crash mid-append
+        second = BEAS(
+            build_base(), ACCESS, storage="mmap", storage_dir=tmp_path
+        )
+        stats = second.storage_stats()
+        assert stats is not None and stats.warm_start
+        assert stats.wal_dropped_bytes == 3
+        assert second.execute(QUERY).rows == expected.rows
+        second.close()
+
+
+# --------------------------------------------------------------------------- #
+# kill -9 mid-maintenance: differential against the brute-force oracle
+# --------------------------------------------------------------------------- #
+CHILD_SCRIPT = textwrap.dedent(
+    """\
+    import sys
+    sys.path[:0] = [{src!r}, {root!r}]
+    from repro import BEAS
+    from tests.test_storage_persistence import ACCESS, build_base, gen_insert
+
+    beas = BEAS(build_base(), ACCESS, storage="mmap", storage_dir=sys.argv[1])
+    for i in range(100_000):
+        beas.insert("event", [gen_insert(i)])
+        print(i, flush=True)
+    """
+)
+
+
+def test_kill9_recovers_exactly_the_logged_prefix(tmp_path):
+    base_version = build_base().table("event").version
+    script = tmp_path / "child.py"
+    script.write_text(CHILD_SCRIPT.format(src=str(SRC), root=str(ROOT)))
+    store_dir = tmp_path / "store"
+    child = subprocess.Popen(
+        [sys.executable, str(script), str(store_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        assert child.stdout is not None
+        for line in child.stdout:
+            if int(line) >= 30:  # ensure a non-trivial logged prefix
+                break
+        os.kill(child.pid, signal.SIGKILL)
+    finally:
+        child.kill()
+        child.wait(timeout=30)
+
+    recovered = BEAS(
+        build_base(), ACCESS, storage="mmap", storage_dir=store_dir
+    )
+    stats = recovered.storage_stats()
+    assert stats is not None and stats.warm_start, "store must warm-start"
+    applied = recovered.database.table("event").version - base_version
+    assert applied >= 30, "at least the acknowledged inserts must replay"
+
+    # brute-force oracle at the recovered version vector: base data plus
+    # exactly the first `applied` maintenance rows, indices from scratch
+    oracle_db = build_base()
+    for i in range(applied):
+        oracle_db.insert("event", gen_insert(i))
+    constraint = ACCESS.get("by_key")
+    oracle_index = AccessIndex(constraint, oracle_db.table("event"))
+    recovered_index = recovered.catalog.index_for(constraint)
+    assert recovered_index.snapshot() == oracle_index.snapshot(), (
+        "recovered buckets diverge from a from-scratch rebuild at the "
+        "recovered version vector"
+    )
+
+    oracle = BEAS(oracle_db, ACCESS)
+    recovered_answer = recovered.execute(QUERY)
+    oracle_answer = oracle.execute(QUERY)
+    assert recovered_answer.rows == oracle_answer.rows
+    assert (
+        recovered_answer.metrics.tuples_fetched
+        == oracle_answer.metrics.tuples_fetched
+    )
+    recovered.close()
+    oracle.close()
