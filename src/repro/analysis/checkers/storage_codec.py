@@ -11,6 +11,15 @@ canonical codec (:func:`~repro.storage.codec.encode_value` /
 family); any ad-hoc ``float(...)`` parse or ``repr(...)`` print inside
 the other storage modules is a second, divergent codec waiting to
 happen and is flagged here.
+
+PR 10 widened the rule to ``repro/distributed/``: the serving fleet's
+socket wire carries the same values, so its modules must route cells
+through the codec and frames through the WAL's framing helpers
+(``frame_record``/``split_frame_header``).  There, hand-rolled
+``struct.pack``/``struct.unpack`` framing is the wire-format twin of the
+ad-hoc value codec and is flagged too (``storage/wal.py`` itself owns
+the one ``struct`` frame header, so storage modules are exempt from
+that half of the rule).
 """
 
 from __future__ import annotations
@@ -21,19 +30,27 @@ from repro.analysis.core import Checker, Finding, ModuleContext, register
 
 _CODING_CALLS = frozenset({"float", "repr"})
 
+#: Only the fleet's wire modules are banned from ``struct`` — the WAL
+#: legitimately defines the canonical frame header with it.
+_STRUCT_BANNED_PREFIX = "distributed/"
+
 
 @register
 class StorageCodecChecker(Checker):
     rule = "storage-codec"
     description = (
-        "ad-hoc float(...)/repr(...) value coding in storage modules "
-        "belongs in repro/storage/codec.py's canonical codec"
+        "ad-hoc float(...)/repr(...) value coding in storage/distributed "
+        "modules belongs in repro/storage/codec.py's canonical codec "
+        "(and wire framing in the WAL's framing helpers)"
     )
 
     def applies_to(self, relpath: str) -> bool:
+        if relpath.startswith("distributed/"):
+            return True
         return relpath.startswith("storage/") and relpath != "storage/codec.py"
 
     def check(self, module: ModuleContext) -> list[Finding]:
+        ban_struct = module.relpath.startswith(_STRUCT_BANNED_PREFIX)
         findings: list[Finding] = []
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -44,9 +61,27 @@ class StorageCodecChecker(Checker):
                     module.finding(
                         self.rule,
                         node,
-                        f"`{func.id}(...)` in a storage module — encode/"
-                        f"decode values through repro.storage.codec so the "
-                        f"CSV, WAL, and mmap formats cannot drift apart",
+                        f"`{func.id}(...)` in a storage-boundary module — "
+                        f"encode/decode values through repro.storage.codec "
+                        f"so the CSV, WAL, mmap, and socket formats cannot "
+                        f"drift apart",
+                    )
+                )
+            elif (
+                ban_struct
+                and isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "struct"
+            ):
+                findings.append(
+                    module.finding(
+                        self.rule,
+                        node,
+                        f"`struct.{func.attr}(...)` in a distributed wire "
+                        f"module — frame wire bytes through "
+                        f"repro.storage.wal's frame_record/"
+                        f"split_frame_header so pipe, file, and socket "
+                        f"framing cannot drift apart",
                     )
                 )
         return findings

@@ -76,6 +76,8 @@ _ENGINE_PINNED = (
     "parallel_dispatch",
     "storage",
     "storage_dir",
+    "replicas",
+    "fleet_port_base",
 )
 
 
@@ -103,6 +105,8 @@ class ExecutionOptions:
     routing: Optional[str] = None  # "static" | "learned"
     storage: Optional[str] = None  # "memory" | "mmap"
     storage_dir: Optional[str] = None  # store directory (mmap only)
+    replicas: Optional[int] = None  # serving replicas (>= 2 = fleet)
+    fleet_port_base: Optional[int] = None  # first replica TCP port
 
     def __post_init__(self) -> None:
         if self.executor is not None:
@@ -121,6 +125,10 @@ class ExecutionOptions:
             config.validate_parallelism(self.parallelism)
         if self.parallel_dispatch is not None:
             config.validate_dispatch(self.parallel_dispatch)
+        if self.replicas is not None:
+            config.validate_replicas(self.replicas)
+        if self.fleet_port_base is not None:
+            config.validate_fleet_port_base(self.fleet_port_base)
         if self.budget is not None:
             if not isinstance(self.budget, int) or isinstance(self.budget, bool):
                 raise BEASError(
@@ -180,6 +188,8 @@ class ExecutionOptions:
             routing=config.env_routing(),
             storage=config.env_storage(),
             storage_dir=config.env_storage_dir(),
+            replicas=config.env_replicas(),
+            fleet_port_base=config.env_fleet_port_base(),
         )
 
     @staticmethod
@@ -198,6 +208,8 @@ class ExecutionOptions:
             routing="static",
             storage="memory",
             storage_dir=None,  # mmap without a dir owns a temp directory
+            replicas=1,
+            fleet_port_base=config.DEFAULT_FLEET_PORT_BASE,
         )
 
     def describe(self) -> str:
@@ -590,6 +602,8 @@ class Session:
                 parallel_dispatch=beas._parallel_dispatch,
                 storage=beas.storage,
                 storage_dir=beas.storage_dir,
+                replicas=beas.replicas,
+                fleet_port_base=beas.fleet_port_base,
             )
             self._check_engine_consistency(options, base)
             # the engine's pinned knobs are all set in `base`, so the
@@ -621,6 +635,8 @@ class Session:
                     if resolved.storage == "mmap"
                     else None
                 ),
+                replicas=resolved.replicas,
+                fleet_port_base=resolved.fleet_port_base,
             )
             self._owns_engine = True
         self._server_ref: Optional["BEASServer"] = None

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.beas.session import Session
+    from repro.distributed.fleet import FleetStats, ReplicaFleet
     from repro.serving.async_server import AsyncBEASServer
     from repro.serving.prepared import PreparedQuery
     from repro.serving.server import BEASServer
@@ -88,6 +89,8 @@ class BEAS:
         parallel_dispatch: Optional[str] = None,
         storage: Optional[str] = None,
         storage_dir: Optional[str] = None,
+        replicas: Optional[int] = None,
+        fleet_port_base: Optional[int] = None,
     ):
         """``executor`` selects the bounded pipeline's execution mode:
         ``"row"`` (tuple-at-a-time, the default) or ``"columnar"``
@@ -115,7 +118,17 @@ class BEAS:
         to ``BEAS_STORAGE``. ``storage_dir`` names the store directory
         (``BEAS_STORAGE_DIR``); without one, an ``mmap`` instance owns a
         temporary directory removed when it is collected — useful for
-        the shm snapshot wire, but obviously not a warm restart."""
+        the shm snapshot wire, but obviously not a warm restart.
+
+        ``replicas`` sets the distributed serving tier's replica count
+        (:class:`~repro.distributed.fleet.ReplicaFleet`): ``1`` (the
+        default) serves in-process, ``>= 2`` spawns socket-connected
+        read replicas that each hold a shard of the access indices and
+        answer covered bounded queries locally under version-vector
+        consistency; ``None`` defers to ``BEAS_REPLICAS``.
+        ``fleet_port_base`` is the first replica's loopback TCP port
+        (``BEAS_FLEET_PORT_BASE``). Fleet answers are identical to
+        in-process ones; any fleet failure falls back in-process."""
         self.database = database
         self.host_profile = host_profile
         self.storage = (
@@ -173,6 +186,22 @@ class BEAS:
         self._pool: Optional[EnginePool] = None
         self._pool_lock = threading.Lock()
         self._pool_spawn_error: Optional[BaseException] = None
+        self.replicas = (
+            config.validate_replicas(replicas)
+            if replicas is not None
+            else (config.env_replicas() or 1)
+        )
+        self.fleet_port_base = (
+            config.validate_fleet_port_base(fleet_port_base)
+            if fleet_port_base is not None
+            else (
+                config.env_fleet_port_base()
+                or config.DEFAULT_FLEET_PORT_BASE
+            )
+        )
+        self._fleet: Optional["ReplicaFleet"] = None
+        self._fleet_lock = threading.Lock()
+        self._fleet_spawn_error: Optional[BaseException] = None
         self._checker_runs_base = 0
         self._host = ConventionalEngine(database, host_profile)
         self._host_engines: dict[str, ConventionalEngine] = {
@@ -201,6 +230,7 @@ class BEAS:
                 rows_per_batch=self._rows_per_batch,
                 pool=self._pool_provider,
                 dispatch=self._parallel_dispatch,
+                fleet=self._fleet_provider,
             )
         }
         self._executor = self._executors[self.executor]
@@ -266,6 +296,64 @@ class BEAS:
         pool = self._pool
         return pool.stats() if pool is not None and not pool.closed else None
 
+    # ------------------------------------------------------------------ #
+    # the serving fleet (distributed read replicas)
+    # ------------------------------------------------------------------ #
+    def _fleet_provider(self) -> Optional["ReplicaFleet"]:
+        """The serving fleet, spawned on first covered bounded execute.
+
+        Lazy for the same reason as :meth:`_pool_provider`; ``None``
+        when ``replicas`` keeps serving in-process, or after a spawn
+        failure (the coordinator keeps answering locally — answers are
+        never wrong, only local).
+        """
+        if self.replicas < 2:
+            return None
+        fleet = self._fleet
+        if fleet is None or fleet.closed:
+            with self._fleet_lock:
+                if self._fleet_spawn_error is not None:
+                    return None
+                fleet = self._fleet
+                if fleet is None or fleet.closed:
+                    from repro.distributed.fleet import ReplicaFleet
+
+                    try:
+                        fleet = ReplicaFleet(
+                            self.catalog,
+                            replicas=self.replicas,
+                            port_base=self.fleet_port_base,
+                        )
+                    except Exception as error:  # beaslint: ok(except-discipline) - any spawn failure (fork limits, ports in use, OS) degrades to coordinator-local serving
+                        self._fleet_spawn_error = error
+                        self._fleet = None
+                        return None
+                    self._fleet = fleet
+                    # replicas are daemonic, but close deterministically
+                    # when this BEAS is collected (test suites build many)
+                    weakref.finalize(self, ReplicaFleet.close, fleet)
+        return fleet
+
+    @property
+    def fleet(self) -> Optional["ReplicaFleet"]:
+        """The serving fleet, if one has been spawned (inspection only —
+        executions spawn it on demand)."""
+        return self._fleet
+
+    def fleet_stats(self) -> Optional["FleetStats"]:
+        fleet = self._fleet
+        return (
+            fleet.stats() if fleet is not None and not fleet.closed else None
+        )
+
+    def _fleet_for_maintenance(self) -> Optional["ReplicaFleet"]:
+        """The live fleet, or ``None`` — maintenance only *notifies* an
+        already-spawned fleet (its delta tail); it never spawns one."""
+        fleet = self._fleet
+        if fleet is None or fleet.closed:
+            return None
+        return fleet
+
     @property
     def store(self) -> Optional[MmapStore]:
         """The persistent store (``None`` under the memory engine)."""
@@ -303,6 +391,15 @@ class BEAS:
             # beaslint: ok(except-discipline) - half-spawned pool: close() is best effort on shutdown
             except Exception:  # pragma: no cover - half-spawned pool
                 pass
+        with self._fleet_lock:
+            fleet, self._fleet = self._fleet, None
+            self._fleet_spawn_error = None  # a later restart may retry
+        if fleet is not None:
+            try:
+                fleet.close()
+            # beaslint: ok(except-discipline) - half-spawned fleet: close() is best effort on shutdown
+            except Exception:  # pragma: no cover - half-spawned fleet
+                pass
         if self._store is not None:
             server = self._server
             if server is not None:
@@ -335,6 +432,7 @@ class BEAS:
                 rows_per_batch=self._rows_per_batch,
                 pool=self._pool_provider,
                 dispatch=self._parallel_dispatch,
+                fleet=self._fleet_provider,
             )
             self._executors[mode] = engine
         return engine
@@ -687,8 +785,22 @@ class BEAS:
         policy = (
             ViolationPolicy.ADJUST if adjust_bounds else ViolationPolicy.REJECT
         )
+        # for the fleet's delta tail: the table version *before* this
+        # batch commits, so a replica at exactly that version can catch
+        # up with the delta instead of a full snapshot re-ship
+        fleet = self._fleet_for_maintenance()
+        prev_version = (
+            self.database.table(table_name).version
+            if fleet is not None and table_name in self.database
+            else None
+        )
         manager = MaintenanceManager(self.catalog, policy=policy)
         batch = manager.insert(table_name, rows)
+        if fleet is not None and batch.inserted:
+            table = self.database.table(table_name)
+            fleet.note_insert(
+                table, table.rows[-batch.inserted:], prev_version
+            )
         if self._store is not None and batch.inserted:
             # persistence discipline: the WAL record is appended only
             # after the in-memory apply committed (a REJECT rollback
@@ -707,8 +819,18 @@ class BEAS:
         """Delete rows (bag semantics), keeping access indices exact."""
         from repro.maintenance.incremental import MaintenanceManager
 
+        fleet = self._fleet_for_maintenance()
+        prev_version = (
+            self.database.table(table_name).version
+            if fleet is not None and table_name in self.database
+            else None
+        )
         manager = MaintenanceManager(self.catalog)
         batch = manager.delete(table_name, rows)
+        if fleet is not None and batch.deleted:
+            fleet.note_delete(
+                self.database.table(table_name), rows, prev_version
+            )
         if self._store is not None and batch.deleted:
             self._store.log_delete(self.database.table(table_name), rows)
         for engine in list(self._host_engines.values()):

@@ -222,17 +222,22 @@ class BoundedPlanExecutor:
         rows_per_batch: Optional[int] = None,
         pool=None,
         dispatch: Optional[str] = None,
+        fleet=None,
     ):
         """``pool`` is an :class:`~repro.engine.pool.EnginePool`, a
         zero-argument provider returning one (or ``None``) — BEAS passes
         a provider so workers fork only when pooled work actually runs —
-        or ``None`` for in-process execution."""
+        or ``None`` for in-process execution. ``fleet`` is the same
+        shape for a :class:`~repro.distributed.fleet.ReplicaFleet`:
+        covered bounded plans are offered to their co-located serving
+        replica before the pool or the in-process pipeline."""
         self._catalog = catalog
         self._dedup_keys = dedup_keys
         self.executor = resolve_executor_mode(executor)
         self.rows_per_batch = resolve_rows_per_batch(rows_per_batch)
         self._pool = pool
         self._dispatch = resolve_dispatch(dispatch)
+        self._fleet = fleet
 
     def _pool_active(self) -> Optional[EnginePool]:
         pool = self._pool
@@ -241,6 +246,14 @@ class BoundedPlanExecutor:
         if pool is None or pool.closed:
             return None
         return pool
+
+    def _fleet_active(self):
+        fleet = self._fleet
+        if fleet is not None and callable(fleet):
+            fleet = fleet()  # lazy provider
+        if fleet is None or fleet.closed:
+            return None
+        return fleet
 
     def _snapshot_state(self):
         """The warm-snapshot key for the catalog's current state plus the
@@ -277,6 +290,14 @@ class BoundedPlanExecutor:
             # format is column batches); answers are mode-independent
             metrics.rows_per_batch = self.rows_per_batch
         start = time.perf_counter()
+        fleet = self._fleet_active()
+        if fleet is not None and isinstance(plan, BoundedPlan):
+            outcome = self._execute_fleet_plan(fleet, plan)
+            if outcome is not None:
+                outcome.metrics.seconds = time.perf_counter() - start
+                return outcome
+            # the fleet could not serve it (no co-located replica, dead
+            # replica, busy connection): fall through to pool/in-process
         if (
             pool is not None
             and self._dispatch in ("auto", "plan")
@@ -300,6 +321,21 @@ class BoundedPlanExecutor:
             for label in intermediate.labels
         ]
         return QueryResult(columns=columns, rows=intermediate.rows, metrics=metrics)
+
+    def _execute_fleet_plan(self, fleet, plan: BoundedPlan) -> Optional[QueryResult]:
+        """Serve the plan from its co-located replica; ``None`` falls
+        back (to the pool branch, then in-process)."""
+        outcome = fleet.execute_plan(
+            plan,
+            dedup=self._dedup_keys,
+            rows_per_batch=self.rows_per_batch,
+        )
+        if outcome is None:
+            return None
+        columns, rows, metrics, wire, replica_id = outcome
+        metrics.replica_id = replica_id
+        metrics.wire_seconds = wire
+        return QueryResult(columns=columns, rows=rows, metrics=metrics)
 
     def _execute_pooled_plan(
         self, pool: EnginePool, plan: BoundedPlan

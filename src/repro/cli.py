@@ -83,6 +83,8 @@ def _build_session(
         routing=routing,
         storage=getattr(args, "storage", None),
         storage_dir=getattr(args, "storage_dir", None),
+        replicas=getattr(args, "replicas", None),
+        fleet_port_base=getattr(args, "fleet_port_base", None),
     )
     return Session(
         database,
@@ -278,6 +280,11 @@ def _serve_stats(args: argparse.Namespace, session: Session) -> int:
             f"dispatched={metrics.pool_batches} "
             f"wait={metrics.pool_wait_seconds * 1000:.2f} ms"
         )
+    if beas.replicas > 1:
+        line += (
+            f"; fleet: replica={metrics.replica_id} "
+            f"wire={metrics.wire_seconds * 1000:.2f} ms"
+        )
     if metrics.routed_mode:
         line += (
             f"; routed={metrics.routed_mode}"
@@ -469,6 +476,20 @@ def build_parser() -> argparse.ArgumentParser:
         dest="storage_dir",
         help="directory for the mmap storage engine (persists across "
         "invocations; default: BEAS_STORAGE_DIR or a private tempdir)",
+    )
+    serve_stats.add_argument(
+        "--replicas",
+        type=int,
+        help="serving replicas (>= 2 spawns the socket-connected read "
+        "fleet and reports its counters in the stats block; default: "
+        "BEAS_REPLICAS or in-process)",
+    )
+    serve_stats.add_argument(
+        "--fleet-port-base",
+        type=int,
+        dest="fleet_port_base",
+        help="first replica TCP port on loopback (replica i listens on "
+        "port_base + i; default: BEAS_FLEET_PORT_BASE or 7641)",
     )
     serve_stats.set_defaults(handler=_cmd_serve_stats)
 

@@ -23,6 +23,8 @@ The variables, and where they sit in the option-precedence chain
 ``BEAS_ROUTING_EPSILON``     learned-routing exploration rate (float in [0, 1])
 ``BEAS_STORAGE``             storage engine: ``memory`` | ``mmap``
 ``BEAS_STORAGE_DIR``         store directory for ``mmap`` (non-empty path)
+``BEAS_REPLICAS``            serving replicas (positive int; >= 2 = fleet)
+``BEAS_FLEET_PORT_BASE``     first replica TCP port (int in [1024, 65000])
 ``BEAS_FUZZ_SEEDS``          seed count for the differential fuzz suites
 ===========================  ==============================================
 """
@@ -45,6 +47,8 @@ ENV_ROUTING = "BEAS_ROUTING"
 ENV_ROUTING_EPSILON = "BEAS_ROUTING_EPSILON"
 ENV_STORAGE = "BEAS_STORAGE"
 ENV_STORAGE_DIR = "BEAS_STORAGE_DIR"
+ENV_REPLICAS = "BEAS_REPLICAS"
+ENV_FLEET_PORT_BASE = "BEAS_FLEET_PORT_BASE"
 ENV_FUZZ_SEEDS = "BEAS_FUZZ_SEEDS"
 
 #: Bounded-pipeline execution modes.
@@ -78,6 +82,15 @@ DEFAULT_ROWS_PER_BATCH = 4096
 #: Default epsilon-greedy exploration rate for learned routing.
 DEFAULT_ROUTING_EPSILON = 0.1
 
+#: Default first TCP port of the serving fleet's replicas (replica ``i``
+#: listens on ``port_base + i``, loopback only).
+DEFAULT_FLEET_PORT_BASE = 7641
+
+#: Replica listen ports must leave the privileged range and stay low
+#: enough that ``port_base + replicas`` cannot overflow the port space.
+FLEET_PORT_MIN = 1024
+FLEET_PORT_MAX = 65000
+
 
 # --------------------------------------------------------------------------- #
 # validators (shared by env readers, BEAS construction, ExecutionOptions)
@@ -107,6 +120,23 @@ def validate_rows_per_batch(value: object, *, source: str = "rows_per_batch") ->
 
 def validate_parallelism(value: object, *, source: str = "parallelism") -> int:
     return _validate_positive_int(value, source)
+
+
+def validate_replicas(value: object, *, source: str = "replicas") -> int:
+    """Serving replica count: 1 serves in-process, >= 2 spawns the fleet."""
+    return _validate_positive_int(value, source)
+
+
+def validate_fleet_port_base(
+    value: object, *, source: str = "fleet_port_base"
+) -> int:
+    port = _validate_positive_int(value, source)
+    if not FLEET_PORT_MIN <= port <= FLEET_PORT_MAX:
+        raise BEASError(
+            f"{source} must be in [{FLEET_PORT_MIN}, {FLEET_PORT_MAX}], "
+            f"got {port}"
+        )
+    return port
 
 
 def validate_dispatch(mode: str, *, source: str = "parallel_dispatch") -> str:
@@ -256,6 +286,20 @@ def env_storage_dir() -> Optional[str]:
     return validate_storage_dir(raw, source=ENV_STORAGE_DIR)
 
 
+def env_replicas() -> Optional[int]:
+    value = _env_int(ENV_REPLICAS)
+    if value is None:
+        return None
+    return validate_replicas(value, source=ENV_REPLICAS)
+
+
+def env_fleet_port_base() -> Optional[int]:
+    value = _env_int(ENV_FLEET_PORT_BASE)
+    if value is None:
+        return None
+    return validate_fleet_port_base(value, source=ENV_FLEET_PORT_BASE)
+
+
 def env_fuzz_seeds(default: int = 8) -> int:
     value = _env_int(ENV_FUZZ_SEEDS)
     if value is None:
@@ -285,6 +329,8 @@ class EnvConfig:
     routing_epsilon: Optional[float] = None
     storage: Optional[str] = None
     storage_dir: Optional[str] = None
+    replicas: Optional[int] = None
+    fleet_port_base: Optional[int] = None
     fuzz_seeds: int = 8
 
     def describe(self) -> str:
@@ -298,6 +344,8 @@ class EnvConfig:
             (ENV_ROUTING_EPSILON, self.routing_epsilon),
             (ENV_STORAGE, self.storage),
             (ENV_STORAGE_DIR, self.storage_dir),
+            (ENV_REPLICAS, self.replicas),
+            (ENV_FLEET_PORT_BASE, self.fleet_port_base),
             (ENV_FUZZ_SEEDS, self.fuzz_seeds),
         ]
         return "\n".join(
@@ -318,5 +366,7 @@ def load_env_config(*, fuzz_default: int = 8) -> EnvConfig:
         routing_epsilon=env_routing_epsilon(),
         storage=env_storage(),
         storage_dir=env_storage_dir(),
+        replicas=env_replicas(),
+        fleet_port_base=env_fleet_port_base(),
         fuzz_seeds=env_fuzz_seeds(fuzz_default),
     )

@@ -1,0 +1,39 @@
+"""Distributed serving tier: coordinator + socket-connected read replicas.
+
+The package generalises the engine pool's snapshot protocol (PR 4) from
+worker processes on pipes to serving replicas on TCP sockets:
+
+* :mod:`repro.distributed.protocol` — the shared vocabulary (task
+  kinds, reply tags, the stale-retry state machine, the indices-only
+  peer catalog) plus the CRC-framed socket wire. The engine pool
+  imports its protocol pieces from here, so pipe and socket cannot
+  drift apart.
+* :mod:`repro.distributed.replica` — the replica process: binds a
+  loopback port, accepts its coordinator, installs snapshot subsets and
+  deltas, and serves covered bounded plans over its indices.
+* :mod:`repro.distributed.fleet` — the coordinator's client:
+  constraint-group placement, template routing, delta-tail catch-up,
+  death/failover handling, and :class:`~repro.distributed.fleet.FleetStats`.
+
+Enable it with ``replicas >= 2`` (``BEAS_REPLICAS``); see
+``docs/api.md``, *Distributed serving*.
+"""
+
+from repro.distributed.fleet import FleetStats, ReplicaFleet
+from repro.distributed.protocol import (
+    REPLY_STALE,
+    SnapshotCatalog,
+    WireError,
+    compute_with_stale_retry,
+    snapshot_key,
+)
+
+__all__ = [
+    "FleetStats",
+    "ReplicaFleet",
+    "REPLY_STALE",
+    "SnapshotCatalog",
+    "WireError",
+    "compute_with_stale_retry",
+    "snapshot_key",
+]

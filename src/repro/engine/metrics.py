@@ -53,6 +53,9 @@ class ExecutionMetrics:
     # death, unsupported shape); a pooled execution with fallbacks is a
     # (partially) serial run and must not train pooled cost models
     pool_fallbacks: int = 0
+    # --- distributed-serving counters (repro.distributed) ---
+    replica_id: int = -1  # serving replica that answered (-1 = not a fleet run)
+    wire_seconds: float = 0.0  # socket round-trip time for the fleet dispatch
     # --- adaptive-routing counters (engine.router) ---
     routed_mode: str = ""  # route the learned router picked ("" = static)
     routing_explored: bool = False  # route was an exploration, not the argmin

@@ -53,6 +53,30 @@ from repro import config
 from repro.config import DISPATCH_MODES
 from repro.errors import BEASError, ReproError
 
+# the snapshot-protocol vocabulary is shared with the serving fleet
+# (repro.distributed): one set of task kinds, reply tags, and one
+# stale-retry state machine for the pipe wire and the socket wire alike
+from repro.distributed.protocol import (
+    MSG_DEBUG,
+    MSG_EXIT,
+    MSG_FETCH,
+    MSG_PING,
+    MSG_PLAN,
+    MSG_SNAPSHOT,
+    MSG_SNAPSHOT_SHM,
+    REPLY_CHUNKS,
+    REPLY_OK,
+    REPLY_PONG,
+    REPLY_RAISE,
+    REPLY_RESULT,
+    REPLY_SHM_FAILED,
+    REPLY_STALE,
+    REPLY_UNSUPPORTED,
+    SnapshotCatalog,
+    StalePeer,
+    compute_with_stale_retry,
+)
+
 
 def resolve_parallelism(
     parallelism: Optional[int], default: int = 0
@@ -233,25 +257,10 @@ def merge_dedup_counts(results: Sequence[FetchChunkResult]) -> int:
 # --------------------------------------------------------------------------- #
 # worker process
 # --------------------------------------------------------------------------- #
-class _SnapshotCatalog:
-    """The worker-side stand-in for ``ASCatalog``: indices only.
-
-    ``database`` is deliberately ``None`` — a worker must never scan base
-    data; any plan shape that would need it is reported back as
-    unsupported and re-executed in-process by the master.
-    """
-
-    def __init__(self, indexes: dict):
-        self._indexes = indexes
-        self.database = None
-
-    def index_for(self, constraint) -> Any:
-        index = self._indexes.get(constraint.name)
-        if index is None:
-            raise ReproError(
-                f"worker snapshot has no index for {constraint.name!r}"
-            )
-        return index
+# the worker-side indices-only catalog now lives with the rest of the
+# snapshot protocol; the private alias keeps this module's worker code
+# (and its history) readable in pool terms
+_SnapshotCatalog = SnapshotCatalog
 
 
 def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
@@ -274,32 +283,34 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
         except (EOFError, OSError):
             return
         kind = task[0]
-        if kind == "exit":
+        if kind == MSG_EXIT:
             conn.close()
             return
-        if kind == "ping":
-            conn.send(("pong", os.getpid()))
+        if kind == MSG_PING:
+            conn.send((REPLY_PONG, os.getpid()))
             continue
-        if kind == "debug":
+        if kind == MSG_DEBUG:
             action = task[1]
             if action == "die":
                 os._exit(17)
             if action == "die_on_next_task":
                 die_next = True
-                conn.send(("ok",))
+                conn.send((REPLY_OK,))
             elif action == "sleep":
                 time.sleep(task[2])
-                conn.send(("ok",))
+                conn.send((REPLY_OK,))
             elif action == "set_snapshot_key":
                 # chaos hook: make the installed snapshot *claim* a key
                 # without holding its data — simulates a worker whose
                 # snapshot silently went stale
                 installed_key = task[2]
-                conn.send(("ok",))
+                conn.send((REPLY_OK,))
             else:
-                conn.send(("unsupported", f"unknown debug action {action!r}"))
+                conn.send(
+                    (REPLY_UNSUPPORTED, f"unknown debug action {action!r}")
+                )
             continue
-        if kind == "snapshot":
+        if kind == MSG_SNAPSHOT:
             installed_key = task[1]
             indexes = task[2]
             if shm_handle is not None:
@@ -311,15 +322,15 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
                     previous.close()
                 except (BufferError, OSError):
                     pass
-            conn.send(("ok",))
+            conn.send((REPLY_OK,))
             continue
-        if kind == "snapshot_shm":
+        if kind == MSG_SNAPSHOT_SHM:
             try:
                 new_indexes, handle = _attach_shm_snapshot(
                     task[2], unregister=private_tracker
                 )
             except Exception as error:  # noqa: BLE001 - any attach failure reports back and the master falls back to the pickle wire
-                conn.send(("shm-failed", repr(error)))
+                conn.send((REPLY_SHM_FAILED, repr(error)))
                 continue
             installed_key = task[1]
             indexes = new_indexes
@@ -329,20 +340,20 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
                     previous.close()
                 except (BufferError, OSError):
                     pass
-            conn.send(("ok",))
+            conn.send((REPLY_OK,))
             continue
         if die_next:
             os._exit(17)
         expected_key = task[1]
         if expected_key != installed_key:
-            conn.send(("stale", installed_key))
+            conn.send((REPLY_STALE, installed_key))
             continue
-        if kind == "plan":
+        if kind == MSG_PLAN:
             conn.send(_run_plan_task(indexes, task))
-        elif kind == "fetch":
+        elif kind == MSG_FETCH:
             conn.send(_run_fetch_task(indexes, task))
         else:
-            conn.send(("unsupported", f"unknown task kind {kind!r}"))
+            conn.send((REPLY_UNSUPPORTED, f"unknown task kind {kind!r}"))
 
 
 def _tracker_is_inherited() -> bool:  # pragma: no cover - subprocess
@@ -408,30 +419,30 @@ def _run_plan_task(indexes: dict, task: tuple):  # pragma: no cover - subprocess
             rows_per_batch=rows_per_batch,
         )
         result = executor.execute(plan)
-        return ("result", result.columns, result.rows, result.metrics)
+        return (REPLY_RESULT, result.columns, result.rows, result.metrics)
     except ReproError as error:
         # semantic failure (bound exceeded, type error): identical to the
         # in-process outcome, so it must propagate, not fall back
-        return ("raise", error)
+        return (REPLY_RAISE, error)
     except Exception as error:  # noqa: BLE001 - infra failure -> fallback
-        return ("unsupported", repr(error))
+        return (REPLY_UNSUPPORTED, repr(error))
 
 
 def _run_fetch_task(indexes: dict, task: tuple):  # pragma: no cover - subprocess
     _, _, constraint_name, spec, dedup, payloads = task
     index = indexes.get(constraint_name)
     if index is None:
-        return ("unsupported", f"no index for {constraint_name!r}")
+        return (REPLY_UNSUPPORTED, f"no index for {constraint_name!r}")
     try:
         results = [
             run_fetch_chunk(index.fetch, spec, columns, range(count), dedup)
             for columns, count in payloads
         ]
-        return ("chunks", results)
+        return (REPLY_CHUNKS, results)
     except ReproError as error:
-        return ("raise", error)
+        return (REPLY_RAISE, error)
     except Exception as error:  # noqa: BLE001 - worker boundary: any failure reports "unsupported" and the parent re-runs in-process
-        return ("unsupported", repr(error))
+        return (REPLY_UNSUPPORTED, repr(error))
 
 
 # --------------------------------------------------------------------------- #
@@ -605,7 +616,7 @@ class EnginePool:
         """Exit one worker from the thread that owns its connection."""
         if worker.alive:
             try:
-                worker.conn.send(("exit",))
+                worker.conn.send((MSG_EXIT,))
             except (OSError, ValueError):
                 pass
         try:
@@ -736,9 +747,9 @@ class EnginePool:
         if self._snapshot_exporter is not None:
             name = self._snapshot_exporter(key, payload_fn)
             if name is not None:
-                task = ("snapshot_shm", key, name)
+                task = (MSG_SNAPSHOT_SHM, key, name)
                 reply = self._roundtrip(worker, task)
-                if reply == ("ok",):
+                if reply == (REPLY_OK,):
                     worker.snapshot_key = key
                     with self._lock:
                         self._stats.snapshots_sent += 1
@@ -747,7 +758,7 @@ class EnginePool:
                             pickle.dumps(task, pickle.HIGHEST_PROTOCOL)
                         )
                     return
-                if reply[0] != "shm-failed":  # pragma: no cover - defensive
+                if reply[0] != REPLY_SHM_FAILED:  # pragma: no cover - defensive
                     raise _WorkerDied(f"snapshot install failed: {reply!r}")
             # exporter declined or the worker could not attach (e.g. the
             # block was replaced under a racing key): same-call fallback
@@ -756,7 +767,7 @@ class EnginePool:
         # the pickle wire: pre-serialised so the shipped bytes are
         # measured exactly (Connection.recv unpickles raw byte messages)
         payload = pickle.dumps(
-            ("snapshot", key, payload_fn()), pickle.HIGHEST_PROTOCOL
+            (MSG_SNAPSHOT, key, payload_fn()), pickle.HIGHEST_PROTOCOL
         )
         try:
             worker.conn.send_bytes(payload)
@@ -764,7 +775,7 @@ class EnginePool:
         except (EOFError, OSError, BrokenPipeError) as error:
             worker.alive = False
             raise _WorkerDied(str(error)) from error
-        if reply != ("ok",):  # pragma: no cover - defensive
+        if reply != (REPLY_OK,):  # pragma: no cover - defensive
             raise _WorkerDied(f"snapshot install failed: {reply!r}")
         worker.snapshot_key = key
         with self._lock:
@@ -772,21 +783,25 @@ class EnginePool:
             self._stats.snapshot_bytes_shipped += len(payload)
 
     def _compute(self, worker: _Worker, key: tuple, payload_fn, task: tuple):
-        """Send one compute task, handling a stale worker snapshot by
-        re-sending the snapshot and retrying once."""
-        self._ensure_snapshot(worker, key, payload_fn)
-        reply = self._roundtrip(worker, task)
-        if reply[0] == "stale":
+        """Send one compute task through the shared stale-retry state
+        machine: a stale worker gets the snapshot re-sent and the task
+        retried once; a second stale reply reports the worker dead."""
+
+        def on_stale() -> None:
             # the worker's installed snapshot disagrees with our
-            # bookkeeping (chaos, or a respawn raced us): re-send and retry
+            # bookkeeping (chaos, or a respawn raced us)
             with self._lock:
                 self._stats.stale_retries += 1
             worker.snapshot_key = None
-            self._ensure_snapshot(worker, key, payload_fn)
-            reply = self._roundtrip(worker, task)
-            if reply[0] == "stale":  # pragma: no cover - defensive
-                raise _WorkerDied("worker snapshot remained stale after resend")
-        return reply
+
+        try:
+            return compute_with_stale_retry(
+                ensure=lambda: self._ensure_snapshot(worker, key, payload_fn),
+                roundtrip=lambda: self._roundtrip(worker, task),
+                on_stale=on_stale,
+            )
+        except StalePeer as error:  # pragma: no cover - defensive
+            raise _WorkerDied(str(error)) from error
 
     # ------------------------------------------------------------------ #
     # whole-plan dispatch
@@ -820,7 +835,7 @@ class EnginePool:
                 worker,
                 snapshot_key,
                 payload_fn,
-                ("plan", snapshot_key, plan, dedup, rows_per_batch),
+                (MSG_PLAN, snapshot_key, plan, dedup, rows_per_batch),
             )
         except _WorkerDied:
             self.release(worker)
@@ -828,11 +843,11 @@ class EnginePool:
                 self._stats.fallbacks += 1
             return None
         self.release(worker)
-        if reply[0] == "result":
+        if reply[0] == REPLY_RESULT:
             with self._lock:
                 self._stats.plans_dispatched += 1
             return reply[1], reply[2], reply[3], wait
-        if reply[0] == "raise":
+        if reply[0] == REPLY_RAISE:
             raise reply[1]
         with self._lock:  # unsupported
             self._stats.fallbacks += 1
@@ -892,7 +907,7 @@ class EnginePool:
                 self._ensure_snapshot(worker, snapshot_key, payload_fn)
                 worker.conn.send(
                     (
-                        "fetch",
+                        MSG_FETCH,
                         snapshot_key,
                         constraint_name,
                         spec,
@@ -919,7 +934,7 @@ class EnginePool:
                 with self._lock:
                     self._stats.fallbacks += len(share)
                 continue
-            if reply[0] == "stale":
+            if reply[0] == REPLY_STALE:
                 # retry this worker's whole share once with a fresh snapshot
                 with self._lock:
                     self._stats.stale_retries += 1
@@ -930,7 +945,7 @@ class EnginePool:
                         snapshot_key,
                         payload_fn,
                         (
-                            "fetch",
+                            MSG_FETCH,
                             snapshot_key,
                             constraint_name,
                             spec,
@@ -944,12 +959,12 @@ class EnginePool:
                     with self._lock:
                         self._stats.fallbacks += len(share)
                     continue
-            if reply[0] == "chunks":
+            if reply[0] == REPLY_CHUNKS:
                 for i, chunk_result in zip(share, reply[1]):
                     results[i] = chunk_result
                 remote += len(share)
                 self.release(worker)
-            elif reply[0] == "raise":
+            elif reply[0] == REPLY_RAISE:
                 # semantic error: remember it, but keep draining the other
                 # in-flight workers so their replies don't poison later tasks
                 self.release(worker)
@@ -1012,8 +1027,8 @@ class EnginePool:
                 raise BEASError("no idle worker for debug hook")
         try:
             if action == "ping":
-                return self._roundtrip(worker, ("ping",))
-            return self._roundtrip(worker, ("debug", action, *args))
+                return self._roundtrip(worker, (MSG_PING,))
+            return self._roundtrip(worker, (MSG_DEBUG, action, *args))
         finally:
             if owned:
                 self.release(worker)

@@ -67,6 +67,7 @@ from repro.config import env_routing_epsilon, validate_result_reuse, validate_ro
 from repro.engine.columnar import resolve_executor_mode
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.pool import PoolStats
+from repro.distributed.fleet import FleetStats
 from repro.engine.router import ExecutorRouter, RouterStats, routing_features
 from repro.errors import ServingError, UnknownTableError
 from repro.sql import ast
@@ -179,6 +180,11 @@ class ServingStats:
     # this server dispatch bounded work to the BEAS instance's worker
     # processes when it was built with parallelism >= 2
     pool: Optional[PoolStats] = None
+    # serving-fleet counters (None while no replica fleet has spawned):
+    # covered bounded requests on this server are answered by the BEAS
+    # instance's socket-connected read replicas when it was built with
+    # replicas >= 2
+    fleet: Optional[FleetStats] = None
     # learned-routing counters (routing="learned" requests): per-route
     # decisions, exploration rate, training observations, cost-aware
     # admission declines
@@ -226,6 +232,8 @@ class ServingStats:
         ]
         if self.pool is not None:
             lines.append(f"  {self.pool.describe()}")
+        if self.fleet is not None:
+            lines.append(f"  {self.fleet.describe()}")
         if self.storage is not None:
             for line in self.storage.describe().splitlines():
                 lines.append(f"  {line}")
@@ -671,6 +679,23 @@ class BEASServer:
     def stats(self) -> ServingStats:
         self._observe_schema_generation()
         shards = self.shards()
+        # Two-phase counter read, ordered against a request's own bump
+        # order so concurrent traffic can never tear the snapshot's
+        # invariants. Within one request the order is: executions (admin)
+        # -> result-cache hit/miss (shard) -> rebind/subsumption counters
+        # (admin). Monotonic counters stay consistent when each family is
+        # read in the *reverse* of that order: the post-shard counters
+        # first (anything they count already has its shard event), the
+        # shard sweep second, and the pre-shard counters last (anything
+        # the sweep counted already has its execution). A single
+        # admin-lock block in either position reports torn totals — e.g.
+        # subsumed_hits > result misses with the old sweep-first order.
+        with self._admin_lock:
+            rebinds = self._rebinds
+            rebind_fallbacks = self._rebind_fallbacks
+            subsumed_hits = self._subsumed_hits
+            subsumption_rejects = self._subsumption_rejects
+            subsumption_invalidations = self._subsumption_invalidations
         snapshots: dict[str, ShardStats] = {}
         result = CacheStats("result")
         entries = 0
@@ -693,11 +718,6 @@ class BEASServer:
             executions = self._executions
             prepared_count = len(self._prepared)
             generation = self._schema_generation
-            rebinds = self._rebinds
-            rebind_fallbacks = self._rebind_fallbacks
-            subsumed_hits = self._subsumed_hits
-            subsumption_rejects = self._subsumption_rejects
-            subsumption_invalidations = self._subsumption_invalidations
         return ServingStats(
             rebinds=rebinds,
             rebind_fallbacks=rebind_fallbacks,
@@ -718,6 +738,7 @@ class BEASServer:
             schema_lock=replace(self._schema_lock.stats),
             admission_declines=declines,
             pool=self._beas.pool_stats(),
+            fleet=self._beas.fleet_stats(),
             routing=self._router.stats(),
             storage=self._beas.storage_stats(),
         )

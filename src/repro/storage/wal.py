@@ -49,6 +49,12 @@ _FRAME_HEADER = struct.Struct("<II")
 MAX_FRAME_BYTES = 1 << 30
 
 
+#: size of the ``u32 len | u32 crc32`` frame header in bytes — consumers
+#: that stream frames (the fleet's socket wire) read exactly this many
+#: bytes before :func:`split_frame_header` can interpret them
+FRAME_HEADER_BYTES = _FRAME_HEADER.size
+
+
 def frame_record(payload: bytes) -> bytes:
     """Wrap ``payload`` in the length + CRC frame."""
     if len(payload) > MAX_FRAME_BYTES:
@@ -57,6 +63,29 @@ def frame_record(payload: bytes) -> bytes:
             f"{MAX_FRAME_BYTES}-byte frame limit"
         )
     return _FRAME_HEADER.pack(len(payload), crc32(payload)) + payload
+
+
+def split_frame_header(header: bytes) -> tuple[int, int]:
+    """Decode one frame header into ``(payload_length, checksum)``.
+
+    The implausible-length guard matches :func:`scan_frames`: a corrupt
+    header must fail here, before a reader tries to allocate or wait for
+    gigabytes that will never arrive.
+    """
+    if len(header) != FRAME_HEADER_BYTES:
+        raise StorageError(
+            f"frame header must be {FRAME_HEADER_BYTES} bytes, "
+            f"got {len(header)}"
+        )
+    length, checksum = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise StorageError(f"implausible frame length {length}")
+    return length, checksum
+
+
+def frame_payload_matches(payload: bytes, checksum: int) -> bool:
+    """True when ``payload`` checks out against its frame header's CRC."""
+    return crc32(payload) == checksum
 
 
 @dataclass

@@ -493,6 +493,65 @@ class TestStorageCodec:
         )
         assert not _hits(report, "storage-codec")
 
+    # -- PR 10: wire framing in distributed/ modules ------------------- #
+    def test_flags_adhoc_struct_framing_in_distributed_module(self):
+        # the fleet wire must reuse the WAL's u32len|u32crc framing, not
+        # mint a second header layout with struct.pack
+        report = _lint(
+            """\
+            import struct
+
+            def send_frame(sock, payload):
+                header = struct.pack("<II", len(payload), 0)
+                sock.sendall(header + payload)
+            """,
+            "distributed/protocol.py",
+        )
+        hits = _hits(report, "storage-codec")
+        assert len(hits) == 1
+        assert "frame_record" in hits[0].message
+
+    def test_wal_framing_helpers_in_distributed_module_are_silent(self):
+        report = _lint(
+            """\
+            from repro.storage.wal import frame_record, split_frame_header
+
+            def send_frame(sock, payload):
+                sock.sendall(frame_record(payload))
+
+            def read_header(header):
+                return split_frame_header(header)
+            """,
+            "distributed/protocol.py",
+        )
+        assert not _hits(report, "storage-codec")
+
+    def test_flags_adhoc_value_coding_in_distributed_module(self):
+        report = _lint(
+            """\
+            def encode_cell(value):
+                return repr(value)
+            """,
+            "distributed/replica.py",
+        )
+        assert len(_hits(report, "storage-codec")) == 1
+
+    def test_struct_in_storage_module_stays_silent(self):
+        # storage/wal.py owns the canonical frame header: the struct ban
+        # is scoped to the distributed wire modules only
+        report = _lint(
+            """\
+            import struct
+
+            _FRAME_HEADER = struct.Struct("<II")
+
+            def frame(payload):
+                return struct.pack("<II", len(payload), 0) + payload
+            """,
+            "storage/wal.py",
+        )
+        assert not _hits(report, "storage-codec")
+
 
 # --------------------------------------------------------------------------- #
 # suppression machinery
